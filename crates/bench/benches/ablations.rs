@@ -1,0 +1,92 @@
+//! Ablation benchmarks for the decomposition's problem-specific
+//! accelerations (§4.2): scenario pruning, parallel subproblems, exact vs
+//! heuristic master, and warm-started vs cold subproblem solves. These are
+//! the design choices DESIGN.md calls out; the groups make each one's
+//! contribution measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexile_bench::{two_class_setup, ExpConfig};
+use flexile_core::master::MasterOptions;
+use flexile_core::subproblem::SubproblemTemplate;
+use flexile_core::{solve_flexile, FlexileOptions};
+use std::hint::black_box;
+
+fn cfg() -> ExpConfig {
+    ExpConfig { max_pairs: Some(12), max_scenarios: 12, ..Default::default() }
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let (inst, set) = two_class_setup("Sprint", &cfg());
+    let mut group = c.benchmark_group("ablation/pruning");
+    group.sample_size(10);
+    for (label, prune) in [("on", true), ("off", false)] {
+        let opts = FlexileOptions { prune, threads: 4, ..Default::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| solve_flexile(black_box(&inst), &set, &opts).penalty)
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let (inst, set) = two_class_setup("IBM", &cfg());
+    let mut group = c.benchmark_group("ablation/threads");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        let opts = FlexileOptions { threads, ..Default::default() };
+        group.bench_function(threads.to_string(), |b| {
+            b.iter(|| solve_flexile(black_box(&inst), &set, &opts).penalty)
+        });
+    }
+    group.finish();
+}
+
+fn bench_master_mode(c: &mut Criterion) {
+    let (inst, set) = two_class_setup("Sprint", &cfg());
+    let mut group = c.benchmark_group("ablation/master");
+    group.sample_size(10);
+    for (label, threshold) in [("exact", usize::MAX), ("lp_rounding", 0)] {
+        let opts = FlexileOptions {
+            threads: 4,
+            master: MasterOptions { exact_threshold: threshold, ..Default::default() },
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| solve_flexile(black_box(&inst), &set, &opts).penalty)
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    // Sweep all scenarios with one template (warm starts across RHS
+    // changes) vs a fresh template per scenario (cold).
+    let (inst, set) = two_class_setup("Sprint", &cfg());
+    let z = vec![true; inst.num_flows()];
+    let mut group = c.benchmark_group("ablation/subproblem_start");
+    group.sample_size(10);
+    group.bench_function("warm_shared_template", |b| {
+        b.iter(|| {
+            let mut t = SubproblemTemplate::new(&inst, None);
+            set.scenarios
+                .iter()
+                .map(|s| t.solve(&inst, s, &z).unwrap().value)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("cold_fresh_template", |b| {
+        b.iter(|| {
+            set.scenarios
+                .iter()
+                .map(|s| {
+                    let mut t = SubproblemTemplate::new(&inst, None);
+                    t.solve(&inst, s, &z).unwrap().value
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning, bench_parallelism, bench_master_mode, bench_warm_start);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the per-scenario allocation paths of every
+//! scheme — the latencies that matter for online failure reaction (§4.3,
+//! "the online phase only solves one subproblem … typically under 3
+//! seconds" at paper scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexile_bench::{single_class_setup, two_class_setup, ExpConfig};
+use flexile_core::online_allocate;
+use flexile_te::{mcf, swan};
+use std::hint::black_box;
+
+fn cfg() -> ExpConfig {
+    ExpConfig { max_pairs: Some(30), max_scenarios: 20, ..Default::default() }
+}
+
+fn bench_scen_best(c: &mut Criterion) {
+    let (inst, set) = single_class_setup("Sprint", &cfg());
+    let scen = &set.scenarios[1];
+    let mut g = c.benchmark_group("online");
+    g.sample_size(10);
+    g.bench_function("scen_best_sprint", |b| {
+        b.iter(|| mcf::scen_best_scenario(black_box(&inst), scen, true))
+    });
+    g.finish();
+}
+
+fn bench_swan_maxmin(c: &mut Criterion) {
+    let (inst, set) = two_class_setup("Sprint", &cfg());
+    let scen = &set.scenarios[1];
+    let mut g = c.benchmark_group("online");
+    g.sample_size(10);
+    g.bench_function("swan_maxmin_sprint", |b| {
+        b.iter(|| swan::swan_maxmin_scenario(black_box(&inst), scen))
+    });
+    g.finish();
+}
+
+fn bench_flexile_online(c: &mut Criterion) {
+    let (inst, set) = two_class_setup("Sprint", &cfg());
+    let scen = &set.scenarios[1];
+    let critical = vec![true; inst.num_flows()];
+    let promised = vec![0.2; inst.num_flows()];
+    let mut g = c.benchmark_group("online");
+    g.sample_size(10);
+    g.bench_function("flexile_online_sprint", |b| {
+        b.iter(|| online_allocate(black_box(&inst), scen, &critical, &promised))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scen_best, bench_swan_maxmin, bench_flexile_online);
+criterion_main!(benches);

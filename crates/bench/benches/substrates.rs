@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the substrate layers: simplex, scenario
+//! enumeration and path computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexile_bench::ExpConfig;
+use flexile_lp::{Model, Sense};
+use flexile_scenario::{enumerate_scenarios, model::link_units, EnumOptions};
+use flexile_topo::{paths::k_shortest_paths, topology_by_name, NodeId};
+use std::hint::black_box;
+
+/// A transportation-style LP with `n` supply and `n` demand nodes.
+fn transport_lp(n: usize) -> Model {
+    let mut m = Model::new(Sense::Min);
+    let mut vars = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            let cost = ((i * 7 + j * 13) % 10 + 1) as f64;
+            vars.push(m.add_var(&format!("x{i}_{j}"), 0.0, f64::INFINITY, cost));
+        }
+    }
+    for i in 0..n {
+        let coeffs: Vec<_> = (0..n).map(|j| (vars[i * n + j], 1.0)).collect();
+        m.add_row_eq(&coeffs, 10.0);
+    }
+    for j in 0..n {
+        let coeffs: Vec<_> = (0..n).map(|i| (vars[i * n + j], 1.0)).collect();
+        m.add_row_eq(&coeffs, 10.0);
+    }
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let m = transport_lp(20);
+    c.bench_function("simplex/transport_20x20", |b| {
+        b.iter(|| black_box(&m).solve().unwrap().objective)
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let topo = topology_by_name("GEANT").unwrap();
+    let probs = flexile_scenario::link_failure_probs(topo.num_links(), 0.8, 0.001, 7);
+    let units = link_units(&topo, &probs);
+    let opts = EnumOptions { prob_cutoff: 1e-7, max_scenarios: 500, coverage_target: 1.1 };
+    c.bench_function("scenario/enumerate_geant_500", |b| {
+        b.iter(|| enumerate_scenarios(black_box(&units), topo.num_links(), &opts).scenarios.len())
+    });
+}
+
+fn bench_yen(c: &mut Criterion) {
+    let topo = topology_by_name("ATT").unwrap();
+    c.bench_function("paths/yen_k8_att", |b| {
+        b.iter(|| k_shortest_paths(black_box(&topo), NodeId(0), NodeId(20), 8).len())
+    });
+}
+
+fn bench_setup(c: &mut Criterion) {
+    let cfg = ExpConfig { max_pairs: Some(30), max_scenarios: 30, ..Default::default() };
+    let mut g = c.benchmark_group("setup");
+    g.sample_size(10);
+    g.bench_function("single_class_sprint", |b| {
+        b.iter(|| flexile_bench::single_class_setup("Sprint", black_box(&cfg)).0.num_pairs())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_enumeration, bench_yen, bench_setup);
+criterion_main!(benches);

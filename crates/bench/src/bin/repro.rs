@@ -1,0 +1,160 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N]
+//!                    [--threads N] [--limit N] [--full]
+//!
+//! experiments:
+//!   motivation   §3 / Propositions 1-2 on the Fig. 1 triangle
+//!   table2       the 20-topology inventory
+//!   fig5         IBM CDF of percentile flow loss (Teavar/ScenBest/Flexile)
+//!   fig6         IBM ScenLoss penalty CDF vs the per-scenario optimum
+//!   fig9a        emulation: Flexile vs SWAN-Maxmin (2 classes, 5 runs)
+//!   fig9b        emulation: Flexile vs SMORE vs Teavar (1 class, 5 runs)
+//!   fig9c        emulation-vs-model loss agreement + Pearson correlation
+//!   fig10        20-topology sweep: Flexile vs SWAN variants (2 classes)
+//!   fig11        20-topology CDF: Teavar / Cvar-Flow-St / -Ad / Flexile
+//!   fig12        richly connected sweep: Teavar / SMORE / Flexile
+//!   fig13        Sprint per-scenario worst-flow loss CDFs (2 classes)
+//!   fig14        optimality gap per decomposition iteration vs IP
+//!   fig15        offline solve time vs topology size (IP vs Flexile)
+//!   fig18        max low-priority scale with zero 99%-ile loss
+//!   summary      headline results incl. the FFC baseline and SLO report
+//!   all          every experiment above, in order
+//! ```
+//!
+//! Default caps keep runs laptop-sized; `--full` removes them (hours).
+//! All randomness is seeded: identical arguments give identical output.
+
+use flexile_bench::{figs_ibm, figs_motivation, figs_perf, figs_sweep, ExpConfig};
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    cfg: ExpConfig,
+    limit: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = ExpConfig::default();
+    let mut limit = 20usize;
+    let mut experiment: Option<String> = None;
+    let mut full = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let next_val = |i: usize, flag: &str| -> Result<String, String> {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match argv[i].as_str() {
+            "--seed" => {
+                cfg.seed = next_val(i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 1;
+            }
+            "--max-pairs" => {
+                cfg.max_pairs = Some(
+                    next_val(i, "--max-pairs")?
+                        .parse()
+                        .map_err(|e| format!("--max-pairs: {e}"))?,
+                );
+                i += 1;
+            }
+            "--max-scenarios" => {
+                cfg.max_scenarios = next_val(i, "--max-scenarios")?
+                    .parse()
+                    .map_err(|e| format!("--max-scenarios: {e}"))?;
+                i += 1;
+            }
+            "--threads" => {
+                cfg.threads =
+                    next_val(i, "--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                i += 1;
+            }
+            "--limit" => {
+                cfg_limit_check(&mut limit, &next_val(i, "--limit")?)?;
+                i += 1;
+            }
+            "--full" => full = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string())
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if full {
+        cfg = cfg.full();
+    }
+    let experiment = experiment.ok_or_else(String::new)?;
+    Ok(Args { experiment, cfg, limit })
+}
+
+fn cfg_limit_check(limit: &mut usize, s: &str) -> Result<(), String> {
+    *limit = s.parse().map_err(|e| format!("--limit: {e}"))?;
+    if *limit == 0 {
+        return Err("--limit must be positive".into());
+    }
+    Ok(())
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N] \
+         [--threads N] [--limit N] [--full]\n\
+         experiments: motivation table2 fig5 fig6 fig9a fig9b fig9c fig10 fig11 \
+         fig12 fig13 fig14 fig15 fig18 summary all"
+    );
+}
+
+fn run(experiment: &str, cfg: &ExpConfig, limit: usize) -> bool {
+    match experiment {
+        "motivation" => figs_motivation::run_motivation(),
+        "table2" => figs_motivation::run_table2(),
+        "fig5" => figs_ibm::run_fig5(cfg),
+        "fig6" => figs_ibm::run_fig6(cfg),
+        "fig9a" => figs_ibm::run_fig9a(cfg),
+        "fig9b" => figs_ibm::run_fig9b(cfg),
+        "fig9c" => figs_ibm::run_fig9c(cfg),
+        "fig10" => figs_sweep::run_fig10(cfg, limit),
+        "fig11" => figs_sweep::run_fig11(cfg, limit),
+        "fig12" => figs_sweep::run_fig12(cfg, limit),
+        "fig13" => figs_sweep::run_fig13(cfg),
+        "fig14" => figs_perf::run_fig14(cfg),
+        "fig15" => figs_perf::run_fig15(cfg, limit),
+        "fig18" => figs_sweep::run_fig18(cfg),
+        "summary" => flexile_bench::summary::run_summary(cfg),
+        "all" => {
+            for e in [
+                "motivation", "table2", "fig5", "fig6", "fig9a", "fig9b", "fig9c", "fig10",
+                "fig11", "fig12", "fig13", "fig14", "fig15", "fig18",
+            ] {
+                eprintln!("== {e} ==");
+                run(e, cfg, limit);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    if !run(&args.experiment, &args.cfg, args.limit) {
+        eprintln!("error: unknown experiment '{}'", args.experiment);
+        usage();
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

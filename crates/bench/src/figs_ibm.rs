@@ -1,0 +1,219 @@
+//! IBM-topology figures: Fig. 5, Fig. 6 and the emulation suite (Fig. 9).
+
+use crate::setup::{loss_matrix, pct, single_class_setup, two_class_setup, ExpConfig};
+use flexile_core::{solve_flexile, FlexileOptions};
+use flexile_emu::{emulate_scheme, EmuConfig};
+use flexile_metrics::{flow_loss, pearson_correlation, perc_loss, scen_loss, Cdf};
+use flexile_te::{mcf, swan, teavar, SchemeResult};
+use flexile_traffic::Instance;
+
+/// The design β used for single-class IBM runs: the largest feasible
+/// target, like the paper ("as high a probability target as possible").
+fn single_beta(inst: &Instance, set: &flexile_scenario::ScenarioSet) -> f64 {
+    set.max_feasible_beta(&inst.tunnels[0])
+}
+
+/// Fig. 5: CDF of the β-percentile flow loss on IBM for Teavar, ScenBest
+/// and Flexile (single class).
+pub fn run_fig5(cfg: &ExpConfig) {
+    let (mut inst, set) = single_class_setup("IBM", cfg);
+    let beta = single_beta(&inst, &set);
+    inst.classes[0].beta = beta;
+    eprintln!("# IBM single-class, beta = {beta:.6}");
+
+    let schemes: Vec<SchemeResult> = vec![
+        teavar::teavar(&inst, &set, beta),
+        mcf::scen_best(&inst, &set),
+        {
+            let design = solve_flexile(&inst, &set, &flexile_opts(cfg));
+            flexile_core::flexile_losses(&inst, &set, &design)
+        },
+    ];
+    println!("scheme,flow_percentile_loss_pct,cdf_fraction_of_flows");
+    for r in &schemes {
+        let m = loss_matrix(r, &set);
+        let per_flow: Vec<f64> = (0..inst.num_flows())
+            .map(|f| flow_loss(&m, f, beta))
+            .collect();
+        let cdf = Cdf::from_samples(&per_flow);
+        for p in cdf.points() {
+            println!("{},{},{:.4}", r.name, pct(p.value), p.cum);
+        }
+    }
+}
+
+/// Fig. 6: CDF (over scenario probability) of the ScenLoss penalty paid by
+/// Teavar and Flexile relative to the per-scenario optimum (ScenBest).
+pub fn run_fig6(cfg: &ExpConfig) {
+    let (mut inst, set) = single_class_setup("IBM", cfg);
+    let beta = single_beta(&inst, &set);
+    inst.classes[0].beta = beta;
+    let flows: Vec<usize> = (0..inst.num_flows()).collect();
+
+    let optimal = mcf::scen_best(&inst, &set);
+    let schemes: Vec<SchemeResult> = vec![teavar::teavar(&inst, &set, beta), {
+        let design = solve_flexile(&inst, &set, &flexile_opts(cfg));
+        flexile_core::flexile_losses(&inst, &set, &design)
+    }];
+    let mopt = loss_matrix(&optimal, &set);
+    println!("scheme,loss_penalty_pct,cum_scenario_probability");
+    for r in &schemes {
+        let m = loss_matrix(r, &set);
+        let weighted: Vec<(f64, f64)> = (0..set.scenarios.len())
+            .map(|q| {
+                let pen = (scen_loss(&m, &flows, q) - scen_loss(&mopt, &flows, q)).max(0.0);
+                (pen, set.scenarios[q].prob)
+            })
+            .collect();
+        let cdf = Cdf::from_weighted(weighted);
+        for p in cdf.points() {
+            println!("{},{},{:.6}", r.name, pct(p.value), p.cum);
+        }
+    }
+}
+
+fn flexile_opts(cfg: &ExpConfig) -> FlexileOptions {
+    FlexileOptions { threads: cfg.threads, ..Default::default() }
+}
+
+/// Fig. 9a: emulated PercLoss, Flexile vs SWAN-Maxmin, two classes on IBM.
+/// Prints median/min/max across 5 jittered runs per class.
+pub fn run_fig9a(cfg: &ExpConfig) {
+    let (inst, set) = two_class_setup("IBM", cfg);
+    let betas = flexile_core::effective_betas(&inst, &set);
+    let design = solve_flexile(&inst, &set, &flexile_opts(cfg));
+    let fx = flexile_core::flexile_losses(&inst, &set, &design);
+    let sm = swan::swan_maxmin(&inst, &set);
+    println!("scheme,class,beta,percloss_median_pct,percloss_min_pct,percloss_max_pct");
+    for (name, model) in [("Flexile", &fx), ("SWAN-Maxmin", &sm)] {
+        let runs = emulate_scheme(&inst, &set, model, &EmuConfig::default(), 5);
+        for k in 0..inst.num_classes() {
+            let mut pls: Vec<f64> = runs
+                .iter()
+                .map(|r| perc_loss(&loss_matrix(r, &set), &inst.class_flows(k), betas[k]))
+                .collect();
+            pls.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            println!(
+                "{name},{},{:.4},{},{},{}",
+                inst.classes[k].name,
+                betas[k],
+                pct(pls[pls.len() / 2]),
+                pct(pls[0]),
+                pct(pls[pls.len() - 1]),
+            );
+        }
+    }
+}
+
+/// Fig. 9b: emulated PercLoss, Flexile vs SMORE vs Teavar, single class.
+pub fn run_fig9b(cfg: &ExpConfig) {
+    let (mut inst, set) = single_class_setup("IBM", cfg);
+    let beta = single_beta(&inst, &set);
+    inst.classes[0].beta = beta;
+    let design = solve_flexile(&inst, &set, &flexile_opts(cfg));
+    let models: Vec<SchemeResult> = vec![
+        flexile_core::flexile_losses(&inst, &set, &design),
+        mcf::smore_drop_disconnected(&inst, &set),
+        teavar::teavar(&inst, &set, beta),
+    ];
+    println!("scheme,beta,percloss_median_pct,percloss_min_pct,percloss_max_pct");
+    let flows: Vec<usize> = (0..inst.num_flows()).collect();
+    for model in &models {
+        let runs = emulate_scheme(&inst, &set, model, &EmuConfig::default(), 5);
+        let mut pls: Vec<f64> = runs
+            .iter()
+            .map(|r| perc_loss(&loss_matrix(r, &set), &flows, beta))
+            .collect();
+        pls.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "{},{beta:.4},{},{},{}",
+            model.name,
+            pct(pls[pls.len() / 2]),
+            pct(pls[0]),
+            pct(pls[pls.len() - 1]),
+        );
+    }
+}
+
+/// Fig. 9c: model-vs-emulation agreement: CDF of (emulated − model) loss
+/// across all flows and scenarios, plus the Pearson correlation.
+pub fn run_fig9c(cfg: &ExpConfig) {
+    let (mut inst, set) = single_class_setup("IBM", cfg);
+    let beta = single_beta(&inst, &set);
+    inst.classes[0].beta = beta;
+    let model = mcf::scen_best(&inst, &set);
+    let emu = &emulate_scheme(&inst, &set, &model, &EmuConfig::default(), 1)[0];
+    let mut model_flat = Vec::new();
+    let mut emu_flat = Vec::new();
+    let mut diffs = Vec::new();
+    for f in 0..inst.num_flows() {
+        for q in 0..set.scenarios.len() {
+            model_flat.push(model.loss[f][q]);
+            emu_flat.push(emu.loss[f][q]);
+            diffs.push(emu.loss[f][q] - model.loss[f][q]);
+        }
+    }
+    let pcc = pearson_correlation(&model_flat, &emu_flat);
+    eprintln!("# Pearson correlation model-vs-emulation: {pcc:.6}");
+    println!("emu_minus_model_loss_pct,cdf");
+    let cdf = Cdf::from_samples(&diffs);
+    for p in cdf.points() {
+        println!("{},{:.6}", pct(p.value), p.cum);
+    }
+    println!("# pcc,{pcc:.6}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig { max_pairs: Some(12), max_scenarios: 12, ..Default::default() }
+    }
+
+    #[test]
+    fn fig5_pipeline_runs_and_orders_schemes() {
+        let cfg = tiny();
+        let (mut inst, set) = single_class_setup("IBM", &cfg);
+        let beta = single_beta(&inst, &set);
+        inst.classes[0].beta = beta;
+        let sb = mcf::scen_best(&inst, &set);
+        let design = solve_flexile(&inst, &set, &flexile_opts(&cfg));
+        let fx = flexile_core::flexile_losses(&inst, &set, &design);
+        let flows: Vec<usize> = (0..inst.num_flows()).collect();
+        let pl_sb = perc_loss(&loss_matrix(&sb, &set), &flows, beta);
+        let pl_fx = perc_loss(&loss_matrix(&fx, &set), &flows, beta);
+        assert!(
+            pl_fx <= pl_sb + 1e-6,
+            "Flexile ({pl_fx}) must not lose to ScenBest ({pl_sb})"
+        );
+    }
+
+    #[test]
+    fn fig9c_agreement_is_tight() {
+        let cfg = tiny();
+        let (inst, set) = single_class_setup("IBM", &cfg);
+        let model = mcf::scen_best(&inst, &set);
+        let emu = &emulate_scheme(&inst, &set, &model, &EmuConfig::default(), 1)[0];
+        let mut m = Vec::new();
+        let mut e = Vec::new();
+        let mut max_diff = 0.0f64;
+        for f in 0..inst.num_flows() {
+            for q in 0..set.scenarios.len() {
+                m.push(model.loss[f][q]);
+                e.push(emu.loss[f][q]);
+                max_diff = max_diff.max((model.loss[f][q] - emu.loss[f][q]).abs());
+            }
+        }
+        // Emulation must track the model tightly (the paper: < 1.67%
+        // everywhere); correlation is only meaningful when the model
+        // losses actually vary in this capped configuration.
+        assert!(max_diff < 0.03, "model-emulation divergence {max_diff}");
+        let spread = m.iter().cloned().fold(0.0f64, f64::max)
+            - m.iter().cloned().fold(1.0f64, f64::min);
+        if spread > 0.05 {
+            let pcc = pearson_correlation(&m, &e);
+            assert!(pcc > 0.99, "model-emulation correlation too low: {pcc}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared experiment plumbing: configuration, instance + scenario-set
+//! construction per topology, and loss-matrix conversion.
+
+use flexile_metrics::LossMatrix;
+use flexile_scenario::{
+    enumerate_scenarios,
+    model::{link_units, sublink_units},
+    EnumOptions, ScenarioSet,
+};
+use flexile_te::SchemeResult;
+use flexile_topo::{topology_by_name, zoo};
+use flexile_traffic::Instance;
+
+/// Experiment configuration shared by all figures.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Base RNG seed; topology/traffic/failure streams derive from it.
+    pub seed: u64,
+    /// Target MLU for the generated traffic matrix (paper: [0.5, 0.7]).
+    pub target_mlu: f64,
+    /// Keep only the top-demand ordered pairs (None = all pairs).
+    pub max_pairs: Option<usize>,
+    /// Cap on enumerated failure scenarios.
+    pub max_scenarios: usize,
+    /// Scenario probability cutoff (paper: 1e-6).
+    pub prob_cutoff: f64,
+    /// Worker threads for Flexile's subproblems.
+    pub threads: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            seed: 7,
+            target_mlu: 0.6,
+            max_pairs: Some(40),
+            max_scenarios: 300,
+            prob_cutoff: 1e-6,
+            threads: 8,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Lift the pair/scenario caps (the paper-scale, hours-long setting).
+    pub fn full(mut self) -> Self {
+        self.max_pairs = None;
+        self.max_scenarios = 2_000;
+        self
+    }
+
+    fn enum_options(&self) -> EnumOptions {
+        EnumOptions {
+            prob_cutoff: self.prob_cutoff,
+            max_scenarios: self.max_scenarios,
+            // Enumerate until 99.99% of probability mass is covered (or
+            // the cap) so fixed SLO targets like β = 0.99 stay reachable
+            // on large topologies.
+            coverage_target: 0.9999,
+        }
+    }
+
+    /// Per-topology failure-probability seed.
+    fn failure_seed(&self, name: &str) -> u64 {
+        self.seed ^ zoo::fnv1a(name).rotate_left(17)
+    }
+
+    /// Per-topology traffic seed.
+    fn traffic_seed(&self, name: &str) -> u64 {
+        self.seed ^ zoo::fnv1a(name)
+    }
+}
+
+/// Build a single-class instance + whole-link failure scenarios for a
+/// Table-2 topology.
+pub fn single_class_setup(name: &str, cfg: &ExpConfig) -> (Instance, ScenarioSet) {
+    let topo = topology_by_name(name).unwrap_or_else(|| panic!("unknown topology {name}"));
+    let probs = flexile_scenario::link_failure_probs(
+        topo.num_links(),
+        flexile_scenario::weibull::DEFAULT_SHAPE,
+        flexile_scenario::weibull::DEFAULT_MEDIAN,
+        cfg.failure_seed(name),
+    );
+    let units = link_units(&topo, &probs);
+    let set = enumerate_scenarios(&units, topo.num_links(), &cfg.enum_options());
+    let inst = Instance::single_class(topo, cfg.traffic_seed(name), cfg.target_mlu, cfg.max_pairs);
+    (inst, set)
+}
+
+/// Build a two-class instance + scenarios for a Table-2 topology.
+pub fn two_class_setup(name: &str, cfg: &ExpConfig) -> (Instance, ScenarioSet) {
+    let topo = topology_by_name(name).unwrap_or_else(|| panic!("unknown topology {name}"));
+    let probs = flexile_scenario::link_failure_probs(
+        topo.num_links(),
+        flexile_scenario::weibull::DEFAULT_SHAPE,
+        flexile_scenario::weibull::DEFAULT_MEDIAN,
+        cfg.failure_seed(name),
+    );
+    let units = link_units(&topo, &probs);
+    let set = enumerate_scenarios(&units, topo.num_links(), &cfg.enum_options());
+    let inst = Instance::two_class(topo, cfg.traffic_seed(name), cfg.target_mlu, cfg.max_pairs);
+    (inst, set)
+}
+
+/// Build the richly-connected (two independent sub-links per link, Fig. 12)
+/// single-class variant.
+pub fn rich_setup(name: &str, cfg: &ExpConfig) -> (Instance, ScenarioSet) {
+    let topo = topology_by_name(name).unwrap_or_else(|| panic!("unknown topology {name}"));
+    let probs = flexile_scenario::link_failure_probs(
+        topo.num_links(),
+        flexile_scenario::weibull::DEFAULT_SHAPE,
+        flexile_scenario::weibull::DEFAULT_MEDIAN,
+        cfg.failure_seed(name),
+    );
+    let units = sublink_units(&topo, &probs);
+    let set = enumerate_scenarios(&units, topo.num_links(), &cfg.enum_options());
+    let inst = Instance::single_class(topo, cfg.traffic_seed(name), cfg.target_mlu, cfg.max_pairs);
+    (inst, set)
+}
+
+/// Wrap a scheme's loss matrix with the scenario probabilities.
+pub fn loss_matrix(r: &SchemeResult, set: &ScenarioSet) -> LossMatrix {
+    LossMatrix::new(r.loss.clone(), set.probs(), set.residual)
+}
+
+/// Format a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_are_deterministic() {
+        let cfg = ExpConfig::default();
+        let (a, sa) = single_class_setup("Sprint", &cfg);
+        let (b, sb) = single_class_setup("Sprint", &cfg);
+        assert_eq!(a.demands, b.demands);
+        assert_eq!(sa.scenarios.len(), sb.scenarios.len());
+        assert_eq!(sa.probs(), sb.probs());
+    }
+
+    #[test]
+    fn caps_are_applied() {
+        let cfg = ExpConfig { max_pairs: Some(10), max_scenarios: 5, ..Default::default() };
+        let (inst, set) = single_class_setup("IBM", &cfg);
+        assert_eq!(inst.num_pairs(), 10);
+        assert!(set.scenarios.len() <= 5);
+        assert!(set.residual > 0.0);
+    }
+
+    #[test]
+    fn rich_setup_has_halved_failures() {
+        let cfg = ExpConfig { max_scenarios: 50, ..Default::default() };
+        let (_, set) = rich_setup("Sprint", &cfg);
+        // Some scenario should contain a half-capacity link.
+        assert!(set
+            .scenarios
+            .iter()
+            .any(|s| s.cap_factor.iter().any(|&c| (c - 0.5).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn two_class_setup_shapes() {
+        let cfg = ExpConfig::default();
+        let (inst, set) = two_class_setup("Sprint", &cfg);
+        assert_eq!(inst.num_classes(), 2);
+        assert!(set.covered_prob() > 0.99);
+    }
+}

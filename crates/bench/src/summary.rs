@@ -1,0 +1,80 @@
+//! `repro summary`: one screen of headline results — the §3 motivation
+//! table, a full scheme comparison (including the FFC baseline) on a
+//! mid-size topology, and SLO-style availability reporting.
+
+use crate::setup::{loss_matrix, pct, single_class_setup, ExpConfig};
+use flexile_core::{solve_flexile, FlexileOptions};
+use flexile_metrics::{perc_loss, slo_compliance};
+use flexile_te::cvar_flow::{cvar_flow_ad, cvar_flow_st, CvarOptions};
+use flexile_te::{ffc, mcf, swan, teavar, SchemeResult};
+
+/// Print the summary.
+pub fn run_summary(cfg: &ExpConfig) {
+    println!("== §3 motivation (Fig. 1 triangle, PercLoss @ 99%) ==");
+    crate::figs_motivation::run_motivation();
+
+    let name = "Sprint";
+    let (mut inst, set) = single_class_setup(name, cfg);
+    let beta = set.max_feasible_beta(&inst.tunnels[0]);
+    inst.classes[0].beta = beta;
+    let flows: Vec<usize> = (0..inst.num_flows()).collect();
+    println!();
+    println!(
+        "== {name}: {} pairs, {} scenarios ({:.4}% coverage), beta = {beta:.5} ==",
+        inst.num_pairs(),
+        set.scenarios.len(),
+        100.0 * set.covered_prob()
+    );
+    println!("scheme,percloss_pct,flows_meeting_zero_loss_slo_pct");
+    let mut report = |r: &SchemeResult| {
+        let m = loss_matrix(r, &set);
+        let pl = perc_loss(&m, &flows, beta);
+        let slo = slo_compliance(&m, 0.0, beta);
+        println!("{},{},{}", r.name, pct(pl), pct(slo));
+    };
+    let design = solve_flexile(&inst, &set, &FlexileOptions { threads: cfg.threads, ..Default::default() });
+    report(&flexile_core::flexile_losses(&inst, &set, &design));
+    report(&mcf::scen_best(&inst, &set));
+    report(&mcf::smore(&inst, &set));
+    report(&teavar::teavar(&inst, &set, beta));
+    report(&cvar_flow_st(&inst, &set, &CvarOptions::new(beta)));
+    report(&cvar_flow_ad(&inst, &set, &CvarOptions::new(beta)));
+    report(&ffc::ffc(&inst, &set, 1));
+    {
+        // SWAN on the single-class instance (priority machinery idles).
+        report(&swan::swan_maxmin(&inst, &set));
+        report(&swan::swan_throughput(&inst, &set));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_ranking_holds_on_tiny_sprint() {
+        // The library-level claim behind the summary: Flexile's PercLoss is
+        // the minimum across the full scheme roster.
+        let cfg = ExpConfig { max_pairs: Some(10), max_scenarios: 12, ..Default::default() };
+        let (mut inst, set) = single_class_setup("Sprint", &cfg);
+        let beta = set.max_feasible_beta(&inst.tunnels[0]);
+        inst.classes[0].beta = beta;
+        let flows: Vec<usize> = (0..inst.num_flows()).collect();
+        let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+        let fx = flexile_core::flexile_losses(&inst, &set, &design);
+        let pl_fx = perc_loss(&loss_matrix(&fx, &set), &flows, beta);
+        for r in [
+            mcf::scen_best(&inst, &set),
+            teavar::teavar(&inst, &set, beta),
+            ffc::ffc(&inst, &set, 1),
+            swan::swan_maxmin(&inst, &set),
+        ] {
+            let pl = perc_loss(&loss_matrix(&r, &set), &flows, beta);
+            assert!(
+                pl_fx <= pl + 1e-6,
+                "Flexile ({pl_fx}) beaten by {} ({pl})",
+                r.name
+            );
+        }
+    }
+}

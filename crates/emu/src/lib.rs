@@ -1,0 +1,36 @@
+//! # flexile-emu — emulation-testbed substitute
+//!
+//! The paper validates its optimization models on a Mininet/Open vSwitch
+//! cluster (§6.1). That testbed's role is to show that installing a TE
+//! scheme's decisions on real switches reproduces the model-predicted
+//! losses up to small discretization artifacts (Fig. 9c: no difference in
+//! over 99% of cases, < 1.67% always, Pearson correlation > 0.999).
+//!
+//! This crate reproduces that pipeline with a deterministic fluid
+//! emulator that exercises the same mechanisms:
+//!
+//! * **Forwarding state** ([`plan`]) — each flow gets an admitted rate and
+//!   *integer* per-tunnel weights, mimicking OVS select-group buckets
+//!   (the paper: "Open vSwitch only takes integer weights in select
+//!   groups"). Quantization is the first discretization artifact.
+//! * **Fluid propagation** ([`fluid`]) — tunnels inject their share of the
+//!   admitted rate; each oversubscribed link drops proportionally (FIFO
+//!   fluid approximation), losses compound hop by hop to a fixed point.
+//! * **Packetization jitter** ([`runner`]) — each of the "5 runs" perturbs
+//!   tunnel rates by a small seeded factor, the second discretization
+//!   artifact, so run-to-run spread matches the error bars of Fig. 9a/9b.
+//!
+//! The emulator consumes the same post-analysis outputs
+//! (`flexile_te::SchemeResult`) every scheme already produces, converting
+//! served bandwidth back into tunnel-level forwarding state with the same
+//! allocation LP the schemes use.
+
+#![warn(missing_docs)]
+
+pub mod fluid;
+pub mod plan;
+pub mod runner;
+
+pub use fluid::propagate;
+pub use plan::{plans_from_served, FlowPlan};
+pub use runner::{emulate_scheme, EmuConfig};

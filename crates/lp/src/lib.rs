@@ -1,0 +1,60 @@
+//! # flexile-lp — linear and mixed-integer programming substrate
+//!
+//! A self-contained LP/MIP solver used by every optimization model in the
+//! Flexile reproduction. The paper solves its models with Gurobi; no
+//! full-featured pure-Rust LP solver is available offline, so this crate
+//! implements one from scratch:
+//!
+//! * [`Model`] — a row/column model builder with per-variable bounds,
+//!   `≤ / ≥ / =` rows and a linear objective.
+//! * [`simplex`] — a bounded-variable two-phase revised simplex method with a
+//!   dense explicitly-maintained basis inverse (eta updates + periodic
+//!   refactorization), Dantzig pricing with a Bland anti-cycling fallback, and
+//!   warm starts from a previously optimal basis.
+//! * [`mip`] — a best-first branch-and-bound solver for models with binary /
+//!   integer variables, with a fix-and-dive rounding heuristic for incumbents.
+//! * [`rowgen`] — a lazy-constraint driver: repeatedly solve, ask an oracle
+//!   for violated rows, add them, and warm-start the next solve. Used for the
+//!   large scenario-bundled LPs (Teavar, CVaR variants) whose full row set
+//!   would dwarf the active set.
+//!
+//! The solver is exact up to a configurable feasibility/optimality tolerance
+//! (default `1e-7`) and is deliberately dense in the basis dimension: every
+//! model in this workspace keeps its row count small (loss variables live in
+//! *bounds*, not rows; big LPs go through [`rowgen`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use flexile_lp::{Model, Sense};
+//!
+//! // max x + 2y  s.t.  x + y <= 4, y <= 3, x,y >= 0
+//! let mut m = Model::new(Sense::Max);
+//! let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+//! let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
+//! m.add_row_le(&[(x, 1.0), (y, 1.0)], 4.0);
+//! m.add_row_le(&[(y, 1.0)], 3.0);
+//! let sol = m.solve().unwrap();
+//! assert!((sol.objective - 7.0).abs() < 1e-6); // x=1, y=3
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod mip;
+pub mod model;
+pub mod rowgen;
+pub mod simplex;
+pub mod sparse;
+
+pub use error::LpError;
+pub use mip::{solve_mip, MipOptions, MipResult, MipStatus};
+pub use model::{Cmp, Model, RowId, Sense, VarId};
+pub use rowgen::{solve_with_rowgen, RowGenOptions, RowGenResult, RowSpec};
+pub use simplex::{Basis, SimplexOptions, Solution, SolveStatus};
+
+/// Default feasibility / optimality tolerance used across the workspace.
+pub const TOL: f64 = 1e-7;
+
+/// Default integrality tolerance for the MIP solver.
+pub const INT_TOL: f64 = 1e-6;

@@ -1,0 +1,394 @@
+//! Best-first branch-and-bound for mixed-integer programs.
+//!
+//! The Flexile formulation (I) and the decomposition master problem are MIPs
+//! over binary `z_fq` variables. This module provides an exact solver for
+//! small/medium instances: LP relaxation at every node, branching on the most
+//! fractional integer variable, best-bound node selection, plus a
+//! fix-and-resolve rounding heuristic to find incumbents early. Node and time
+//! budgets make it safe to call on larger instances, in which case the result
+//! reports the achieved bound and the incumbent (`MipStatus::Feasible`).
+
+use crate::error::LpError;
+use crate::model::{Model, Sense, VarId};
+use crate::simplex::{SimplexOptions, Solution};
+use crate::INT_TOL;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Options for the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct MipOptions {
+    /// Maximum number of explored nodes.
+    pub max_nodes: usize,
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+    /// Stop when `|incumbent - bound| <= abs_gap`.
+    pub abs_gap: f64,
+    /// Stop when the relative gap falls below this value.
+    pub rel_gap: f64,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        MipOptions {
+            max_nodes: 20_000,
+            time_limit: Duration::from_secs(60),
+            abs_gap: 1e-6,
+            rel_gap: 1e-6,
+        }
+    }
+}
+
+/// Terminal status of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// Incumbent proven optimal within the gap tolerances.
+    Optimal,
+    /// An incumbent exists but optimality was not proven (budget ran out).
+    Feasible,
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// Budget ran out before any incumbent was found.
+    Unknown,
+}
+
+/// Result of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct MipResult {
+    /// Terminal status.
+    pub status: MipStatus,
+    /// Best integer-feasible point found (structural variables).
+    pub x: Vec<f64>,
+    /// Objective of the incumbent (in the model's sense).
+    pub objective: f64,
+    /// Best proven bound on the optimum (lower bound for Min, upper for Max).
+    pub bound: f64,
+    /// Nodes explored.
+    pub nodes: usize,
+}
+
+#[derive(Clone)]
+struct Node {
+    /// Bound overrides for integer variables: `(var, lb, ub)`.
+    fixes: Vec<(VarId, f64, f64)>,
+}
+
+struct HeapEntry {
+    bound_min: f64,
+    seq: usize,
+    node: Node,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound_min == other.bound_min && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest minimization bound
+        // first, so reverse. Tie-break on insertion order (DFS-ish).
+        other
+            .bound_min
+            .partial_cmp(&self.bound_min)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Solve a MIP by branch and bound. The `model`'s integer variables are
+/// those marked via [`Model::add_binary`]/[`Model::set_integer`].
+pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, LpError> {
+    let ints = model.integer_vars();
+    if ints.is_empty() {
+        let sol = model.solve()?;
+        return Ok(MipResult {
+            status: MipStatus::Optimal,
+            x: sol.x,
+            objective: sol.objective,
+            bound: sol.objective,
+            nodes: 1,
+        });
+    }
+
+    let start = Instant::now();
+    let min_sign = match model.sense() {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    let to_min = |obj: f64| min_sign * obj;
+
+    let mut work = model.clone();
+    let simplex_opts = SimplexOptions::default();
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (x, obj_min_form)
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0usize;
+    let mut nodes = 0usize;
+    let mut best_bound_min = f64::NEG_INFINITY;
+
+    heap.push(HeapEntry {
+        bound_min: f64::NEG_INFINITY,
+        seq,
+        node: Node { fixes: Vec::new() },
+    });
+
+    let solve_node = |work: &mut Model, fixes: &[(VarId, f64, f64)]| -> Result<Option<Solution>, LpError> {
+        // Apply overrides, solve, then restore the original bounds.
+        let saved: Vec<(VarId, f64, f64)> = fixes
+            .iter()
+            .map(|&(v, _, _)| {
+                let (l, u) = work.bounds(v);
+                (v, l, u)
+            })
+            .collect();
+        for &(v, l, u) in fixes {
+            work.set_bounds(v, l, u);
+        }
+        let res = work.solve_with(&simplex_opts, None);
+        for &(v, l, u) in &saved {
+            work.set_bounds(v, l, u);
+        }
+        match res {
+            Ok(sol) => Ok(Some(sol)),
+            Err(LpError::Infeasible) => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
+
+    while let Some(entry) = heap.pop() {
+        if nodes >= opts.max_nodes || start.elapsed() > opts.time_limit {
+            // Put it back conceptually: the popped bound is the best bound.
+            best_bound_min = best_bound_min.max(entry.bound_min);
+            break;
+        }
+        // Prune against incumbent.
+        if let Some((_, inc)) = &incumbent {
+            if entry.bound_min >= *inc - opts.abs_gap {
+                best_bound_min = best_bound_min.max(*inc);
+                continue;
+            }
+        }
+        nodes += 1;
+        let sol = match solve_node(&mut work, &entry.node.fixes)? {
+            Some(s) => s,
+            None => continue,
+        };
+        let obj_min = to_min(sol.objective);
+        if let Some((_, inc)) = &incumbent {
+            if obj_min >= *inc - opts.abs_gap {
+                continue; // dominated subtree
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch: Option<(VarId, f64)> = None;
+        let mut best_frac = INT_TOL;
+        for &v in &ints {
+            let val = sol.x[v.index()];
+            let frac = (val - val.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch = Some((v, val));
+            }
+        }
+
+        match branch {
+            None => {
+                // Integer feasible: candidate incumbent.
+                let better = incumbent.as_ref().map_or(true, |(_, inc)| obj_min < *inc);
+                if better {
+                    incumbent = Some((sol.x.clone(), obj_min));
+                }
+            }
+            Some((v, val)) => {
+                // Rounding heuristic at shallow depths: fix all ints to the
+                // rounded relaxation values and test feasibility.
+                if entry.node.fixes.len() <= 1 && incumbent.is_none() {
+                    let fixes: Vec<(VarId, f64, f64)> = ints
+                        .iter()
+                        .map(|&iv| {
+                            let (lo, hi) = work.bounds(iv);
+                            let mut r = sol.x[iv.index()].round();
+                            if r > hi {
+                                r = hi.floor();
+                            }
+                            if r < lo {
+                                r = lo.ceil();
+                            }
+                            (iv, r, r)
+                        })
+                        .collect();
+                    if let Some(h) = solve_node(&mut work, &fixes)? {
+                        let hobj = to_min(h.objective);
+                        if incumbent.as_ref().map_or(true, |(_, inc)| hobj < *inc) {
+                            incumbent = Some((h.x.clone(), hobj));
+                        }
+                    }
+                }
+                let floor = val.floor();
+                for (lo, hi) in [(work.bounds(v).0, floor), (floor + 1.0, work.bounds(v).1)] {
+                    if lo > hi {
+                        continue;
+                    }
+                    let mut fixes = entry.node.fixes.clone();
+                    // Tighten rather than duplicate an existing override.
+                    if let Some(f) = fixes.iter_mut().find(|f| f.0 == v) {
+                        f.1 = f.1.max(lo);
+                        f.2 = f.2.min(hi);
+                        if f.1 > f.2 {
+                            continue;
+                        }
+                    } else {
+                        fixes.push((v, lo, hi));
+                    }
+                    seq += 1;
+                    heap.push(HeapEntry {
+                        bound_min: obj_min,
+                        seq,
+                        node: Node { fixes },
+                    });
+                }
+            }
+        }
+    }
+
+    // The remaining best bound is the min over the untouched heap and the
+    // incumbent.
+    let frontier_bound = heap
+        .iter()
+        .map(|e| e.bound_min)
+        .fold(f64::INFINITY, f64::min);
+    let proven_min = if heap.is_empty() {
+        incumbent.as_ref().map_or(best_bound_min, |(_, inc)| (*inc).min(best_bound_min.max(*inc)))
+    } else {
+        frontier_bound.min(incumbent.as_ref().map_or(f64::INFINITY, |(_, i)| *i))
+    };
+
+    match incumbent {
+        Some((x, obj_min)) => {
+            let gap = (obj_min - proven_min).abs();
+            let status = if heap.is_empty()
+                || gap <= opts.abs_gap
+                || gap <= opts.rel_gap * obj_min.abs().max(1.0)
+            {
+                MipStatus::Optimal
+            } else {
+                MipStatus::Feasible
+            };
+            Ok(MipResult {
+                status,
+                objective: min_sign * obj_min,
+                bound: min_sign * proven_min,
+                x,
+                nodes,
+            })
+        }
+        None => {
+            let status = if heap.is_empty() && nodes < opts.max_nodes {
+                MipStatus::Infeasible
+            } else {
+                MipStatus::Unknown
+            };
+            Ok(MipResult {
+                status,
+                objective: f64::NAN,
+                bound: min_sign * proven_min,
+                x: Vec::new(),
+                nodes,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn knapsack() {
+        // max 10a + 6b + 4c st 5a + 4b + 3c <= 10, binaries -> a=b=1 (16)
+        let mut m = Model::new(Sense::Max);
+        let a = m.add_binary("a", 10.0);
+        let b = m.add_binary("b", 6.0);
+        let c = m.add_binary("c", 4.0);
+        m.add_row_le(&[(a, 5.0), (b, 4.0), (c, 3.0)], 10.0);
+        let r = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - 16.0).abs() < 1e-6);
+        assert!((r.x[a.index()] - 1.0).abs() < 1e-6);
+        assert!((r.x[b.index()] - 1.0).abs() < 1e-6);
+        assert!(r.x[c.index()].abs() < 1e-6);
+    }
+
+    #[test]
+    fn pure_lp_shortcut() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 5.0, 1.0);
+        m.add_row_ge(&[(x, 1.0)], 2.5);
+        let r = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_rounding_not_valid() {
+        // min x st 2x >= 3, x integer -> x = 2 (not 1.5 rounded to 1/2 naive)
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        m.set_integer(x);
+        m.add_row_ge(&[(x, 2.0)], 3.0);
+        let r = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        // binaries a + b = 1 and a + b = 2 cannot both hold... use bounds:
+        let mut m = Model::new(Sense::Min);
+        let a = m.add_binary("a", 1.0);
+        let b = m.add_binary("b", 1.0);
+        m.add_row_eq(&[(a, 1.0), (b, 1.0)], 1.0);
+        m.add_row_ge(&[(a, 1.0), (b, 1.0)], 2.0);
+        let r = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_eq!(r.status, MipStatus::Infeasible);
+    }
+
+    #[test]
+    fn covering_problem() {
+        // min a + b + c st a+b>=1, b+c>=1, a+c>=1, binaries -> 2
+        let mut m = Model::new(Sense::Min);
+        let a = m.add_binary("a", 1.0);
+        let b = m.add_binary("b", 1.0);
+        let c = m.add_binary("c", 1.0);
+        m.add_row_ge(&[(a, 1.0), (b, 1.0)], 1.0);
+        m.add_row_ge(&[(b, 1.0), (c, 1.0)], 1.0);
+        m.add_row_ge(&[(a, 1.0), (c, 1.0)], 1.0);
+        let r = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2i + x st i <= 2.5 (int), x <= 1.7, i + x <= 3.5
+        let mut m = Model::new(Sense::Max);
+        let i = m.add_var("i", 0.0, 2.5, 2.0);
+        m.set_integer(i);
+        let x = m.add_var("x", 0.0, 1.7, 1.0);
+        m.add_row_le(&[(i, 1.0), (x, 1.0)], 3.5);
+        let r = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        // i=2, x=1.5 -> 5.5
+        assert!((r.objective - 5.5).abs() < 1e-6);
+    }
+}

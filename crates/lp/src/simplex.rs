@@ -1,0 +1,1090 @@
+//! Bounded-variable two-phase revised simplex method.
+//!
+//! Implementation notes:
+//!
+//! * Every row `a·x (cmp) b` gets a slack `s` with `a·x + s = b` and bounds
+//!   `[0, ∞)` (for `≤`), `(-∞, 0]` (for `≥`) or `[0, 0]` (for `=`).
+//! * Phase 1 starts from the all-slack basis; rows whose slack value violates
+//!   its bounds get a `±1` artificial column with phase-1 cost 1. Once the
+//!   artificial sum reaches zero the artificials are frozen at `[0, 0]` and
+//!   phase 2 runs with the true cost.
+//! * The basis inverse is kept as an explicit dense matrix, updated with an
+//!   elementary (eta) transformation per pivot and refactorized from scratch
+//!   periodically (and whenever drift is detected).
+//! * Pricing is Dantzig (most negative reduced cost); after a run of
+//!   degenerate pivots the solver switches to Bland's rule, which guarantees
+//!   termination, and switches back once progress resumes.
+//! * Warm starts: [`Solution::basis`] can be fed back into
+//!   [`solve`] for a structurally identical model (same variables and rows,
+//!   possibly different RHS/bounds/objective). If the saved basis is not
+//!   primal feasible for the new data the solver silently falls back to a
+//!   cold start, so warm starting is always safe.
+
+use crate::error::LpError;
+use crate::model::{Cmp, Model, Sense};
+use crate::sparse::{DenseMat, SparseCol};
+
+/// Feasibility tolerance on variable bounds.
+const FEAS_TOL: f64 = 1e-7;
+/// Reduced-cost (dual) tolerance.
+const DUAL_TOL: f64 = 1e-7;
+/// Minimum pivot magnitude accepted in the ratio test. Too small a pivot
+/// produces huge eta factors and destroys the basis inverse.
+const PIVOT_TOL: f64 = 5e-8;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGEN_SWITCH: usize = 60;
+/// Pivots between basis refactorizations (default; halved in safe mode).
+const REFACTOR_EVERY: usize = 60;
+
+/// Solver status of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Proven optimal within tolerances.
+    Optimal,
+    /// Primal infeasible.
+    Infeasible,
+    /// Unbounded objective.
+    Unbounded,
+}
+
+/// Options controlling a simplex run.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard cap on simplex iterations (phases combined). `0` means automatic
+    /// (`50 · (rows + cols) + 10_000`).
+    pub max_iters: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions { max_iters: 0 }
+    }
+}
+
+/// A basis snapshot usable for warm-starting a later solve.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    basis: Vec<usize>,
+    status: Vec<VarStatus>,
+}
+
+/// An optimal (or best-found) solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Terminal status. `solve` returns `Err` for infeasible/unbounded, so a
+    /// returned `Solution` always has `SolveStatus::Optimal`.
+    pub status: SolveStatus,
+    /// Primal values of the structural variables.
+    pub x: Vec<f64>,
+    /// Objective value in the model's own sense.
+    pub objective: f64,
+    /// Row duals: `duals[i] = ∂objective/∂rhs[i]` (in the model's sense).
+    pub duals: Vec<f64>,
+    /// Iterations used (both phases).
+    pub iterations: usize,
+    /// Basis snapshot for warm starts.
+    pub basis: Basis,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, v: crate::model::VarId) -> f64 {
+        self.x[v.index()]
+    }
+    /// Dual of a row.
+    pub fn dual(&self, r: crate::model::RowId) -> f64 {
+        self.duals[r.index()]
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarStatus {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free variable nonbasic at value 0.
+    FreeZero,
+}
+
+/// Internal working state. Columns are ordered: structural (0..n), slacks
+/// (n..n+m), artificials (n+m..).
+struct Work<'a> {
+    model: &'a Model,
+    n: usize,
+    m: usize,
+    /// Artificial columns: (row, sign).
+    arts: Vec<(usize, f64)>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Phase-2 cost (minimization form).
+    cost2: Vec<f64>,
+    basis: Vec<usize>,
+    status: Vec<VarStatus>,
+    binv: DenseMat,
+    xb: Vec<f64>,
+    pivots_since_refactor: usize,
+}
+
+impl<'a> Work<'a> {
+    fn ncols(&self) -> usize {
+        self.n + self.m + self.arts.len()
+    }
+
+    /// Visit the non-zero entries of column `j`.
+    #[inline]
+    fn for_col<F: FnMut(usize, f64)>(&self, j: usize, mut f: F) {
+        if j < self.n {
+            for (r, v) in self.model.cols.col(j).iter() {
+                f(r, v);
+            }
+        } else if j < self.n + self.m {
+            f(j - self.n, 1.0);
+        } else {
+            let (r, s) = self.arts[j - self.n - self.m];
+            f(r, s);
+        }
+    }
+
+    fn col_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        self.for_col(j, |r, v| acc += dense[r] * v);
+        acc
+    }
+
+    /// Value of a nonbasic column.
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => self.lb[j],
+            VarStatus::AtUpper => self.ub[j],
+            VarStatus::FreeZero => 0.0,
+            VarStatus::Basic => unreachable!("nonbasic_value on basic column"),
+        }
+    }
+
+    /// Recompute the basic values `xb = B⁻¹ (b - A_N x_N)`.
+    fn recompute_xb(&mut self) {
+        let mut r: Vec<f64> = self.model.rhs.clone();
+        for j in 0..self.ncols() {
+            if self.status[j] == VarStatus::Basic {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                self.for_col(j, |row, a| r[row] -= a * v);
+            }
+        }
+        // xb = binv * r
+        for i in 0..self.m {
+            self.xb[i] = self.binv.row(i).iter().zip(r.iter()).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Refactorize the basis inverse from the current basis column set.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let m = self.m;
+        // Move the inverse out so the inversion closure can borrow `self`
+        // immutably for column access.
+        let mut binv = std::mem::replace(&mut self.binv, DenseMat::identity(1));
+        let basis = self.basis.clone();
+        let ok = binv.invert_from_columns(m, |pos, out| {
+            self.for_col(basis[pos], |r, v| out[r] += v);
+        });
+        self.binv = binv;
+        if !ok {
+            return Err(LpError::Numerical("singular basis at refactorization".into()));
+        }
+        self.pivots_since_refactor = 0;
+        self.recompute_xb();
+        Ok(())
+    }
+
+    /// Max bound violation of the basic values.
+    fn primal_infeas(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (i, &j) in self.basis.iter().enumerate() {
+            worst = worst.max(self.lb[j] - self.xb[i]).max(self.xb[i] - self.ub[j]);
+        }
+        worst
+    }
+
+    fn objective_of(&self, cost: &[f64]) -> f64 {
+        let mut obj = 0.0;
+        for (i, &j) in self.basis.iter().enumerate() {
+            obj += cost[j] * self.xb[i];
+        }
+        for j in 0..self.ncols() {
+            if self.status[j] != VarStatus::Basic && cost[j] != 0.0 {
+                obj += cost[j] * self.nonbasic_value(j);
+            }
+        }
+        obj
+    }
+}
+
+/// Outcome of one simplex phase.
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+    IterLimit,
+}
+
+/// Run simplex iterations with the given cost vector until optimality.
+fn run_phase(
+    w: &mut Work,
+    cost: &[f64],
+    iter_budget: &mut usize,
+    total_iters: &mut usize,
+    refactor_every: usize,
+) -> Result<PhaseEnd, LpError> {
+    let m = w.m;
+    let mut y = vec![0.0; m];
+    let mut ftran = vec![0.0; m];
+    let mut cb = vec![0.0; m];
+    let mut degen_run = 0usize;
+    let mut bland = false;
+
+    loop {
+        if *iter_budget == 0 {
+            return Ok(PhaseEnd::IterLimit);
+        }
+        *iter_budget -= 1;
+        *total_iters += 1;
+
+        // BTRAN: y = c_B^T B⁻¹
+        for (i, &j) in w.basis.iter().enumerate() {
+            cb[i] = cost[j];
+        }
+        w.binv.pre_mul_dense(&cb, &mut y);
+
+        // Pricing.
+        let mut enter: Option<(usize, f64, f64)> = None; // (col, |d|, dir)
+        for j in 0..w.ncols() {
+            if w.status[j] == VarStatus::Basic {
+                continue;
+            }
+            if w.ub[j] - w.lb[j] <= 0.0 {
+                continue; // fixed column can never improve
+            }
+            let d = cost[j] - w.col_dot(j, &y);
+            let dir = match w.status[j] {
+                VarStatus::AtLower if d < -DUAL_TOL => 1.0,
+                VarStatus::AtUpper if d > DUAL_TOL => -1.0,
+                VarStatus::FreeZero if d.abs() > DUAL_TOL => -d.signum(),
+                _ => continue,
+            };
+            if bland {
+                enter = Some((j, d.abs(), dir));
+                break;
+            }
+            match enter {
+                Some((_, best, _)) if d.abs() <= best => {}
+                _ => enter = Some((j, d.abs(), dir)),
+            }
+        }
+        let (q, _, dir) = match enter {
+            Some(e) => e,
+            None => return Ok(PhaseEnd::Optimal),
+        };
+
+        // FTRAN: w = B⁻¹ a_q
+        let col = {
+            let mut entries = Vec::new();
+            w.for_col(q, |r, v| entries.push((r as u32, v)));
+            SparseCol::from_entries(entries)
+        };
+        w.binv.mul_sparse(&col, &mut ftran);
+
+        // Ratio test: entering moves by t >= 0 in direction `dir`; basic i
+        // changes by -dir * t * ftran[i].
+        let own_range = w.ub[q] - w.lb[q]; // may be +inf
+        let mut t_best = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut leave: Option<usize> = None; // basic position; None => bound flip
+        let mut leave_pivot = 0.0f64;
+        for i in 0..m {
+            let delta = dir * ftran[i];
+            if delta.abs() < PIVOT_TOL {
+                continue;
+            }
+            let bj = w.basis[i];
+            let limit = if delta > 0.0 {
+                if w.lb[bj].is_finite() {
+                    (w.xb[i] - w.lb[bj]) / delta
+                } else {
+                    continue;
+                }
+            } else if w.ub[bj].is_finite() {
+                (w.xb[i] - w.ub[bj]) / delta
+            } else {
+                continue;
+            };
+            let limit = limit.max(0.0);
+            // Prefer strictly smaller ratios; break near-ties toward the
+            // larger pivot magnitude for numerical stability (or the smaller
+            // column index under Bland's rule).
+            let better = if limit < t_best - 1e-10 {
+                true
+            } else if limit <= t_best + 1e-10 {
+                match leave {
+                    None => true,
+                    Some(cur) => {
+                        if bland {
+                            w.basis[i] < w.basis[cur]
+                        } else {
+                            ftran[i].abs() > leave_pivot.abs()
+                        }
+                    }
+                }
+            } else {
+                false
+            };
+            if better {
+                t_best = limit.min(t_best);
+                leave = Some(i);
+                leave_pivot = ftran[i];
+            }
+        }
+
+        if t_best.is_infinite() {
+            return Ok(PhaseEnd::Unbounded);
+        }
+
+        // Track degeneracy and toggle Bland's rule.
+        if t_best < 1e-10 {
+            degen_run += 1;
+            if degen_run > DEGEN_SWITCH {
+                bland = true;
+            }
+        } else {
+            degen_run = 0;
+            bland = false;
+        }
+
+        match leave {
+            None => {
+                // Bound flip: entering runs to its opposite bound.
+                for i in 0..m {
+                    w.xb[i] -= dir * t_best * ftran[i];
+                }
+                w.status[q] = match w.status[q] {
+                    VarStatus::AtLower => VarStatus::AtUpper,
+                    VarStatus::AtUpper => VarStatus::AtLower,
+                    s => s, // free variables have no finite flip; unreachable
+                };
+            }
+            Some(r) => {
+                let start = w.nonbasic_value(q);
+                for i in 0..m {
+                    w.xb[i] -= dir * t_best * ftran[i];
+                }
+                let leaving = w.basis[r];
+                // The leaving variable lands on whichever bound blocked.
+                let delta = dir * ftran[r];
+                w.status[leaving] =
+                    if delta > 0.0 { VarStatus::AtLower } else { VarStatus::AtUpper };
+                w.basis[r] = q;
+                w.status[q] = VarStatus::Basic;
+                w.xb[r] = start + dir * t_best;
+                w.binv.eta_update(&ftran, r);
+                w.pivots_since_refactor += 1;
+                if w.pivots_since_refactor >= refactor_every {
+                    w.refactorize()?;
+                    // Drift check: if the recomputed basic values violate
+                    // their bounds, the eta-updated path went numerically
+                    // astray; surface it so the caller can retry in safe
+                    // mode rather than "optimize" an infeasible iterate.
+                    if w.primal_infeas() > 1e-6 {
+                        return Err(LpError::Numerical(format!(
+                            "feasibility drift {:.3e} detected at refactorization",
+                            w.primal_infeas()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a dual-simplex feasibility restoration.
+enum DualEnd {
+    /// Primal feasibility restored; continue with the primal phase 2.
+    Feasible,
+    /// Dual unbounded ⇒ the primal is infeasible.
+    PrimalInfeasible,
+    /// Budget exhausted.
+    IterLimit,
+}
+
+/// Bounded-variable dual simplex: starting from a *dual-feasible* basis
+/// (correct reduced-cost signs for every nonbasic status) that is primal
+/// infeasible, pivot until the basic values respect their bounds.
+///
+/// This is the engine behind cross-scenario warm starts: the paper's
+/// reformulated subproblem changes only the RHS between scenarios, which
+/// preserves dual feasibility exactly, so re-solving is a handful of dual
+/// pivots instead of a cold two-phase run.
+fn run_dual_phase(
+    w: &mut Work,
+    cost: &[f64],
+    iter_budget: &mut usize,
+    total_iters: &mut usize,
+    refactor_every: usize,
+) -> Result<DualEnd, LpError> {
+    let m = w.m;
+    let mut y = vec![0.0; m];
+    let mut cb = vec![0.0; m];
+    let mut row = vec![0.0; m];
+    let mut ftran = vec![0.0; m];
+
+    loop {
+        if *iter_budget == 0 {
+            return Ok(DualEnd::IterLimit);
+        }
+        *iter_budget -= 1;
+        *total_iters += 1;
+
+        // Pick the most violated basic variable.
+        let mut leave: Option<(usize, f64, bool)> = None; // (pos, violation, below_lb)
+        for (i, &j) in w.basis.iter().enumerate() {
+            let below = w.lb[j] - w.xb[i];
+            let above = w.xb[i] - w.ub[j];
+            if below > FEAS_TOL {
+                if leave.map_or(true, |(_, v, _)| below > v) {
+                    leave = Some((i, below, true));
+                }
+            } else if above > FEAS_TOL && leave.map_or(true, |(_, v, _)| above > v) {
+                leave = Some((i, above, false));
+            }
+        }
+        let (r, _, below_lb) = match leave {
+            Some(l) => l,
+            None => return Ok(DualEnd::Feasible),
+        };
+
+        // Reduced costs need y = c_B B⁻¹; pivot row needs e_r B⁻¹.
+        for (i, &j) in w.basis.iter().enumerate() {
+            cb[i] = cost[j];
+        }
+        w.binv.pre_mul_dense(&cb, &mut y);
+        row.copy_from_slice(w.binv.row(r));
+
+        // Dual ratio test: among nonbasic columns whose motion pushes the
+        // leaving basic toward its violated bound, pick the one with the
+        // smallest |d_j / alpha_j| so every reduced cost keeps its sign.
+        let mut enter: Option<(usize, f64, f64)> = None; // (col, ratio, alpha)
+        for j in 0..w.ncols() {
+            if w.status[j] == VarStatus::Basic || w.ub[j] - w.lb[j] <= 0.0 {
+                continue;
+            }
+            let mut alpha = 0.0;
+            w.for_col(j, |rr, v| alpha += row[rr] * v);
+            if alpha.abs() < PIVOT_TOL {
+                continue;
+            }
+            // xb_r changes by -dir_j · t · alpha_j when j moves by t ≥ 0 in
+            // its feasible direction dir_j.
+            let eligible = match (w.status[j], below_lb) {
+                // Need xb_r to increase.
+                (VarStatus::AtLower, true) => alpha < 0.0,
+                (VarStatus::AtUpper, true) => alpha > 0.0,
+                // Need xb_r to decrease.
+                (VarStatus::AtLower, false) => alpha > 0.0,
+                (VarStatus::AtUpper, false) => alpha < 0.0,
+                (VarStatus::FreeZero, _) => true,
+                _ => false,
+            };
+            if !eligible {
+                continue;
+            }
+            let d = cost[j] - w.col_dot(j, &y);
+            let ratio = (d / alpha).abs();
+            if enter.map_or(true, |(_, best, a)| {
+                ratio < best - 1e-12 || (ratio <= best + 1e-12 && alpha.abs() > a.abs())
+            }) {
+                enter = Some((j, ratio, alpha));
+            }
+        }
+        let (q, _, _) = match enter {
+            Some(e) => e,
+            None => return Ok(DualEnd::PrimalInfeasible),
+        };
+
+        // Primal step: move q so that xb_r lands exactly on its violated
+        // bound. dir and step follow from alpha's sign.
+        let col = {
+            let mut entries = Vec::new();
+            w.for_col(q, |rr, v| entries.push((rr as u32, v)));
+            SparseCol::from_entries(entries)
+        };
+        w.binv.mul_sparse(&col, &mut ftran);
+        let target = if below_lb { w.lb[w.basis[r]] } else { w.ub[w.basis[r]] };
+        // xb_r + (-dir t alpha) = target, with |ftran[r]| == |alpha|.
+        let need = target - w.xb[r];
+        let dir_t = -need / ftran[r]; // dir * t
+        let start = w.nonbasic_value(q);
+        for i in 0..m {
+            w.xb[i] -= dir_t * ftran[i];
+        }
+        let leaving = w.basis[r];
+        w.status[leaving] = if below_lb { VarStatus::AtLower } else { VarStatus::AtUpper };
+        w.basis[r] = q;
+        w.status[q] = VarStatus::Basic;
+        w.xb[r] = start + dir_t;
+        w.binv.eta_update(&ftran, r);
+        w.pivots_since_refactor += 1;
+        if w.pivots_since_refactor >= refactor_every {
+            w.refactorize()?;
+        }
+    }
+}
+
+/// Whether the current basis is dual feasible for `cost` (reduced costs
+/// have the right sign for every nonbasic status).
+fn dual_feasible(w: &Work, cost: &[f64]) -> bool {
+    let m = w.m;
+    let mut cb = vec![0.0; m];
+    for (i, &j) in w.basis.iter().enumerate() {
+        cb[i] = cost[j];
+    }
+    let mut y = vec![0.0; m];
+    w.binv.pre_mul_dense(&cb, &mut y);
+    for j in 0..w.ncols() {
+        if w.status[j] == VarStatus::Basic || w.ub[j] - w.lb[j] <= 0.0 {
+            continue;
+        }
+        let d = cost[j] - w.col_dot(j, &y);
+        let ok = match w.status[j] {
+            VarStatus::AtLower => d >= -DUAL_TOL * 10.0,
+            VarStatus::AtUpper => d <= DUAL_TOL * 10.0,
+            VarStatus::FreeZero => d.abs() <= DUAL_TOL * 10.0,
+            VarStatus::Basic => true,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Solve `model`, optionally warm-starting from `warm`.
+///
+/// On a numerical failure (feasibility drift, singular basis) the solve is
+/// retried from a cold start with a much shorter refactorization interval;
+/// only a second failure is surfaced to the caller.
+pub fn solve(
+    model: &Model,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, LpError> {
+    match solve_attempt(model, opts, warm, REFACTOR_EVERY) {
+        Err(LpError::Numerical(_)) => solve_attempt(model, opts, None, 8),
+        other => other,
+    }
+}
+
+fn solve_attempt(
+    model: &Model,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+    refactor_every: usize,
+) -> Result<Solution, LpError> {
+    let n = model.num_vars();
+    let m = model.num_rows();
+    for j in 0..n {
+        if model.lb[j] > model.ub[j] + 1e-12 {
+            return Err(LpError::BadModel(format!(
+                "variable {} has lb {} > ub {}",
+                model.names[j], model.lb[j], model.ub[j]
+            )));
+        }
+    }
+
+    // Minimization form.
+    let sign = match model.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+
+    // Column bounds: structural then slacks.
+    let mut lb = Vec::with_capacity(n + m);
+    let mut ub = Vec::with_capacity(n + m);
+    lb.extend_from_slice(&model.lb);
+    ub.extend_from_slice(&model.ub);
+    for i in 0..m {
+        match model.row_cmp[i] {
+            Cmp::Le => {
+                lb.push(0.0);
+                ub.push(f64::INFINITY);
+            }
+            Cmp::Ge => {
+                lb.push(f64::NEG_INFINITY);
+                ub.push(0.0);
+            }
+            Cmp::Eq => {
+                lb.push(0.0);
+                ub.push(0.0);
+            }
+        }
+    }
+    let mut cost2 = vec![0.0; n + m];
+    for j in 0..n {
+        cost2[j] = sign * model.obj[j];
+    }
+
+    let mut w = Work {
+        model,
+        n,
+        m,
+        arts: Vec::new(),
+        lb,
+        ub,
+        cost2,
+        basis: (n..n + m).collect(),
+        status: Vec::new(),
+        binv: DenseMat::identity(m.max(1)),
+        xb: vec![0.0; m],
+        pivots_since_refactor: 0,
+    };
+    w.binv = DenseMat::identity(m);
+
+    let max_iters = if opts.max_iters == 0 {
+        50 * (n + m) + 10_000
+    } else {
+        opts.max_iters
+    };
+    let mut budget = max_iters;
+    let mut total_iters = 0usize;
+
+    // Try the warm basis first.
+    let mut warm_ok = false;
+    if let Some(b) = warm {
+        if b.basis.len() == m
+            && b.status.len() >= n + m
+            && b.basis.iter().all(|&j| j < n + m)
+        {
+            w.basis = b.basis.clone();
+            w.status = b.status[..n + m].to_vec();
+            // Repair statuses against possibly-changed bounds.
+            for j in 0..n + m {
+                if w.status[j] == VarStatus::Basic {
+                    continue;
+                }
+                w.status[j] = initial_status(w.lb[j], w.ub[j], w.status[j]);
+            }
+            if w.refactorize().is_ok() {
+                if w.primal_infeas() <= 1e-6 {
+                    warm_ok = true;
+                } else {
+                    // RHS/bound changes broke primal feasibility. If the
+                    // basis is still dual feasible (always true when only
+                    // the RHS changed — the cross-scenario case), restore
+                    // feasibility with dual-simplex pivots.
+                    let cost_now = {
+                        let mut c = w.cost2.clone();
+                        c.resize(w.ncols(), 0.0);
+                        c
+                    };
+                    if dual_feasible(&w, &cost_now) {
+                        match run_dual_phase(
+                            &mut w,
+                            &cost_now,
+                            &mut budget,
+                            &mut total_iters,
+                            refactor_every,
+                        ) {
+                            Ok(DualEnd::Feasible) => warm_ok = true,
+                            Ok(DualEnd::PrimalInfeasible) => return Err(LpError::Infeasible),
+                            Ok(DualEnd::IterLimit) => {}
+                            Err(_) => {} // fall back to a cold start
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if !warm_ok {
+        // Cold start: all-slack basis, structurals at the bound nearest zero.
+        w.basis = (n..n + m).collect();
+        w.status = (0..n + m)
+            .map(|j| {
+                if j >= n {
+                    VarStatus::Basic
+                } else {
+                    initial_status(w.lb[j], w.ub[j], VarStatus::AtLower)
+                }
+            })
+            .collect();
+        w.binv = DenseMat::identity(m);
+        w.recompute_xb();
+
+        // Install artificials for slack-infeasible rows.
+        let mut need_phase1 = false;
+        for i in 0..m {
+            let s = n + i;
+            let v = w.xb[i];
+            if v > w.ub[s] + FEAS_TOL {
+                // Slack forced to its upper bound; artificial absorbs v - ub.
+                let excess = v - w.ub[s];
+                w.status[s] = VarStatus::AtUpper;
+                let a = w.ncols();
+                w.arts.push((i, 1.0));
+                w.lb.push(0.0);
+                w.ub.push(f64::INFINITY);
+                w.cost2.push(0.0);
+                w.status.push(VarStatus::Basic);
+                w.basis[i] = a;
+                w.xb[i] = excess;
+                need_phase1 = true;
+            } else if v < w.lb[s] - FEAS_TOL {
+                let deficit = w.lb[s] - v;
+                w.status[s] = VarStatus::AtLower;
+                let a = w.ncols();
+                w.arts.push((i, -1.0));
+                w.lb.push(0.0);
+                w.ub.push(f64::INFINITY);
+                w.cost2.push(0.0);
+                w.status.push(VarStatus::Basic);
+                w.basis[i] = a;
+                w.xb[i] = deficit;
+                // The artificial column is -e_i, so the basis inverse row
+                // flips sign relative to the identity start.
+                w.binv.data[i * m + i] = -1.0;
+                need_phase1 = true;
+            }
+        }
+
+        if need_phase1 {
+            let mut cost1 = vec![0.0; w.ncols()];
+            for j in n + m..w.ncols() {
+                cost1[j] = 1.0;
+            }
+            match run_phase(&mut w, &cost1, &mut budget, &mut total_iters, refactor_every)? {
+                PhaseEnd::Optimal => {}
+                PhaseEnd::Unbounded => {
+                    return Err(LpError::Numerical("phase 1 unbounded".into()))
+                }
+                PhaseEnd::IterLimit => return Err(LpError::IterationLimit),
+            }
+            let infeas = w.objective_of(&cost1);
+            if infeas > 1e-6 {
+                return Err(LpError::Infeasible);
+            }
+            // Freeze artificials at zero for phase 2.
+            for j in n + m..w.ncols() {
+                w.lb[j] = 0.0;
+                w.ub[j] = 0.0;
+                if w.status[j] != VarStatus::Basic {
+                    w.status[j] = VarStatus::AtLower;
+                }
+            }
+        }
+    }
+
+    // Phase 2.
+    let cost2 = {
+        let mut c = w.cost2.clone();
+        c.resize(w.ncols(), 0.0);
+        c
+    };
+    match run_phase(&mut w, &cost2, &mut budget, &mut total_iters, refactor_every)? {
+        PhaseEnd::Optimal => {}
+        PhaseEnd::Unbounded => return Err(LpError::Unbounded),
+        PhaseEnd::IterLimit => return Err(LpError::IterationLimit),
+    }
+
+    // Numerical hygiene: refactorize once and verify.
+    w.refactorize()?;
+    if w.primal_infeas() > 1e-5 {
+        return Err(LpError::Numerical(format!(
+            "primal infeasibility {} after optimization",
+            w.primal_infeas()
+        )));
+    }
+
+    // Extract the solution.
+    let mut x = vec![0.0; n];
+    for j in 0..n {
+        if w.status[j] != VarStatus::Basic {
+            x[j] = w.nonbasic_value(j);
+        }
+    }
+    for (i, &j) in w.basis.iter().enumerate() {
+        if j < n {
+            x[j] = w.xb[i];
+        }
+    }
+    // Duals: y = c_B^T B⁻¹ in min form; flip for Max.
+    let mut cb = vec![0.0; m];
+    for (i, &j) in w.basis.iter().enumerate() {
+        cb[i] = cost2[j];
+    }
+    let mut y = vec![0.0; m];
+    w.binv.pre_mul_dense(&cb, &mut y);
+    if sign < 0.0 {
+        y.iter_mut().for_each(|v| *v = -*v);
+    }
+
+    let objective = model.eval_objective(&x);
+    let basis = Basis {
+        basis: w.basis.clone(),
+        status: w.status[..n + m].to_vec(),
+    };
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        x,
+        objective,
+        duals: y,
+        iterations: total_iters,
+        basis,
+    })
+}
+
+fn initial_status(lb: f64, ub: f64, prefer: VarStatus) -> VarStatus {
+    match (lb.is_finite(), ub.is_finite()) {
+        (true, true) => {
+            if prefer == VarStatus::AtUpper {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::AtLower
+            }
+        }
+        (true, false) => VarStatus::AtLower,
+        (false, true) => VarStatus::AtUpper,
+        (false, false) => VarStatus::FreeZero,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn simple_max() {
+        // max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18 -> 36 at (2,6)
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_row_le(&[(x, 1.0)], 4.0);
+        m.add_row_le(&[(y, 2.0)], 12.0);
+        m.add_row_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn min_with_ge_rows_needs_phase1() {
+        // min 2x + 3y st x + y >= 10, x >= 2, y >= 3 -> x=7,y=3 obj 23
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+        m.add_row_ge(&[(x, 1.0), (y, 1.0)], 10.0);
+        m.add_row_ge(&[(x, 1.0)], 2.0);
+        m.add_row_ge(&[(y, 1.0)], 3.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 23.0);
+    }
+
+    #[test]
+    fn equality_rows() {
+        // min x + y st x + 2y = 4, x - y = 1 -> x=2, y=1
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_row_eq(&[(x, 1.0), (y, 2.0)], 4.0);
+        m.add_row_eq(&[(x, 1.0), (y, -1.0)], 1.0);
+        let s = m.solve().unwrap();
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_row_ge(&[(x, 1.0)], 2.0);
+        assert!(matches!(m.solve(), Err(crate::LpError::Infeasible)));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_row_ge(&[(x, 1.0), (y, -1.0)], 0.0);
+        assert!(matches!(m.solve(), Err(crate::LpError::Unbounded)));
+    }
+
+    #[test]
+    fn bounded_variables_and_flips() {
+        // max x + y with 0<=x<=2, 0<=y<=3, x + y <= 4 -> (1,3) or (2,2), obj 4
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, 2.0, 1.0);
+        let y = m.add_var("y", 0.0, 3.0, 1.0);
+        m.add_row_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min |structure|: x free, min x st x >= -5 -> x = -5
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_row_ge(&[(x, 1.0)], -5.0);
+        let s = m.solve().unwrap();
+        assert_close(s.value(x), -5.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x + y with x in [-3, -1], y in [2, 10], x + y >= 0
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", -3.0, -1.0, 1.0);
+        let y = m.add_var("y", 2.0, 10.0, 1.0);
+        m.add_row_ge(&[(x, 1.0), (y, 1.0)], 0.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn duals_shadow_price() {
+        // max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18; duals: 0, 1.5, 1
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        let r1 = m.add_row_le(&[(x, 1.0)], 4.0);
+        let r2 = m.add_row_le(&[(y, 2.0)], 12.0);
+        let r3 = m.add_row_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let s = m.solve().unwrap();
+        assert_close(s.dual(r1), 0.0);
+        assert_close(s.dual(r2), 1.5);
+        assert_close(s.dual(r3), 1.0);
+    }
+
+    #[test]
+    fn warm_start_reuses_basis() {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_row_le(&[(x, 1.0)], 4.0);
+        let r2 = m.add_row_le(&[(y, 2.0)], 12.0);
+        m.add_row_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let s1 = m.solve().unwrap();
+        // Perturb the RHS slightly and re-solve warm: should take few iters.
+        m.set_rhs(r2, 11.0);
+        let s2 = m
+            .solve_with(&crate::SimplexOptions::default(), Some(&s1.basis))
+            .unwrap();
+        assert_close(s2.objective, 3.0 * (7.0 / 3.0) + 5.0 * 5.5);
+        assert!(s2.iterations <= s1.iterations + 2);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classically degenerate LP (multiple rows binding at the origin).
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 0.75);
+        let y = m.add_var("y", 0.0, f64::INFINITY, -150.0);
+        let z = m.add_var("z", 0.0, f64::INFINITY, 0.02);
+        let u = m.add_var("u", 0.0, f64::INFINITY, -6.0);
+        m.add_row_le(&[(x, 0.25), (y, -60.0), (z, -0.04), (u, 9.0)], 0.0);
+        m.add_row_le(&[(x, 0.5), (y, -90.0), (z, -0.02), (u, 3.0)], 0.0);
+        m.add_row_le(&[(z, 1.0)], 1.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn negative_rhs_le_row_needs_negative_artificial() {
+        // Regression: a `<=` row with negative RHS starts with a deficit
+        // slack and needs a -1 artificial; the basis inverse must flip
+        // that row's sign. min x + y st -x - y <= -15, x,y <= 10.
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        m.add_row_le(&[(x, -1.0), (y, -1.0)], -15.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 15.0);
+        assert!(m.max_violation(&s.x) < 1e-6);
+    }
+
+    #[test]
+    fn dual_simplex_restores_feasibility_after_rhs_cut() {
+        // Tighten a binding RHS: the warm basis goes primal infeasible but
+        // stays dual feasible, so the dual phase should repair it in a few
+        // pivots and agree with the cold solve.
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_row_le(&[(x, 1.0)], 4.0);
+        let r2 = m.add_row_le(&[(y, 2.0)], 12.0);
+        let r3 = m.add_row_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let s1 = m.solve().unwrap();
+        // Capacity drop, as when a scenario fails links: both rows tighten.
+        m.set_rhs(r2, 6.0);
+        m.set_rhs(r3, 12.0);
+        let warm = m
+            .solve_with(&crate::SimplexOptions::default(), Some(&s1.basis))
+            .unwrap();
+        let cold = m.solve().unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert!(m.max_violation(&warm.x) < 1e-6);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "dual warm restart ({}) should not exceed cold ({})",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn dual_simplex_detects_infeasible_rhs() {
+        // x <= 4 tightened to an impossible combination with x >= 6.
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let r1 = m.add_row_le(&[(x, 1.0)], 10.0);
+        m.add_row_ge(&[(x, 1.0)], 6.0);
+        let s1 = m.solve().unwrap();
+        m.set_rhs(r1, 4.0);
+        let res = m.solve_with(&crate::SimplexOptions::default(), Some(&s1.basis));
+        assert!(matches!(res, Err(crate::LpError::Infeasible)), "{res:?}");
+    }
+
+    #[test]
+    fn rhs_sweep_warm_matches_cold() {
+        // Sweep a capacity through many values (the per-scenario pattern):
+        // warm-restarted objectives must track cold solves exactly.
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, 8.0, 2.0);
+        let y = m.add_var("y", 0.0, 8.0, 1.0);
+        let cap = m.add_row_le(&[(x, 1.0), (y, 1.0)], 10.0);
+        m.add_row_le(&[(x, 2.0), (y, 1.0)], 14.0);
+        let mut basis = None;
+        for c in [10.0, 7.5, 5.0, 2.5, 0.0, 6.0, 9.0] {
+            m.set_rhs(cap, c);
+            let warm = m
+                .solve_with(&crate::SimplexOptions::default(), basis.as_ref())
+                .unwrap();
+            let cold = m.solve().unwrap();
+            assert_close(warm.objective, cold.objective);
+            basis = Some(warm.basis);
+        }
+    }
+
+    #[test]
+    fn fixed_variable_is_respected() {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 2.0, 2.0, 1.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        m.add_row_le(&[(x, 1.0), (y, 1.0)], 5.0);
+        let s = m.solve().unwrap();
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 3.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Minimal sparse linear-algebra helpers for the simplex engine.
+//!
+//! The constraint matrix is stored column-major ([`ColMatrix`]) because the
+//! revised simplex method consumes columns: pricing needs `y · a_j` per
+//! column and FTRAN needs the entering column itself. The basis inverse is a
+//! dense row-major square matrix (see `simplex`); for the model sizes in this
+//! workspace (rows in the hundreds to low thousands) dense is both simpler
+//! and faster than a sparse LU.
+
+/// A sparse column: parallel `(row, value)` arrays, rows strictly increasing.
+#[derive(Debug, Clone, Default)]
+pub struct SparseCol {
+    /// Row indices with non-zero coefficients, strictly increasing.
+    pub rows: Vec<u32>,
+    /// Coefficients, parallel to `rows`.
+    pub vals: Vec<f64>,
+}
+
+impl SparseCol {
+    /// Build from an unsorted coefficient list; duplicate rows are summed and
+    /// exact zeros dropped.
+    pub fn from_entries(mut entries: Vec<(u32, f64)>) -> Self {
+        entries.sort_unstable_by_key(|e| e.0);
+        let mut rows = Vec::with_capacity(entries.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(entries.len());
+        for (r, v) in entries {
+            if let (Some(&lr), Some(lv)) = (rows.last(), vals.last_mut()) {
+                if lr == r {
+                    *lv += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            vals.push(v);
+        }
+        // Drop entries that cancelled to zero.
+        let mut col = SparseCol { rows, vals };
+        col.compact();
+        col
+    }
+
+    fn compact(&mut self) {
+        let mut w = 0;
+        for i in 0..self.rows.len() {
+            if self.vals[i] != 0.0 {
+                self.rows[w] = self.rows[i];
+                self.vals[w] = self.vals[i];
+                w += 1;
+            }
+        }
+        self.rows.truncate(w);
+        self.vals.truncate(w);
+    }
+
+    /// Number of structural non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterate `(row, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.rows.iter().zip(self.vals.iter()).map(|(&r, &v)| (r as usize, v))
+    }
+
+    /// Sparse dot product with a dense vector.
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (r, v) in self.iter() {
+            acc += dense[r] * v;
+        }
+        acc
+    }
+}
+
+/// Column-major sparse matrix: one [`SparseCol`] per structural variable.
+#[derive(Debug, Clone, Default)]
+pub struct ColMatrix {
+    cols: Vec<SparseCol>,
+    nrows: usize,
+}
+
+impl ColMatrix {
+    /// Empty matrix with `nrows` rows and no columns.
+    pub fn new(nrows: usize) -> Self {
+        ColMatrix { cols: Vec::new(), nrows }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Grow the row dimension (existing columns keep their entries).
+    pub fn grow_rows(&mut self, nrows: usize) {
+        debug_assert!(nrows >= self.nrows);
+        self.nrows = nrows;
+    }
+
+    /// Append a column, returning its index.
+    pub fn push_col(&mut self, col: SparseCol) -> usize {
+        debug_assert!(col.rows.iter().all(|&r| (r as usize) < self.nrows));
+        self.cols.push(col);
+        self.cols.len() - 1
+    }
+
+    /// Add `value` at `(row, col)`, extending the column entry list.
+    pub fn add_entry(&mut self, row: usize, col: usize, value: f64) {
+        if value == 0.0 {
+            return;
+        }
+        debug_assert!(row < self.nrows);
+        let c = &mut self.cols[col];
+        // Fast path: append in row order (typical when building row by row).
+        match c.rows.last() {
+            Some(&last) if (last as usize) < row => {
+                c.rows.push(row as u32);
+                c.vals.push(value);
+            }
+            None => {
+                c.rows.push(row as u32);
+                c.vals.push(value);
+            }
+            _ => {
+                // Out-of-order insert or duplicate: merge properly.
+                match c.rows.binary_search(&(row as u32)) {
+                    Ok(pos) => c.vals[pos] += value,
+                    Err(pos) => {
+                        c.rows.insert(pos, row as u32);
+                        c.vals.insert(pos, value);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Borrow a column.
+    pub fn col(&self, j: usize) -> &SparseCol {
+        &self.cols[j]
+    }
+
+    /// Total number of non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.cols.iter().map(|c| c.nnz()).sum()
+    }
+}
+
+/// Dense square matrix stored row-major, used for the basis inverse.
+#[derive(Debug, Clone)]
+pub struct DenseMat {
+    /// Row-major data, length `n * n`.
+    pub data: Vec<f64>,
+    /// Dimension.
+    pub n: usize,
+}
+
+impl DenseMat {
+    /// Identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        DenseMat { data, n }
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// `out = self * sparse_col` (FTRAN against a sparse column).
+    pub fn mul_sparse(&self, col: &SparseCol, out: &mut [f64]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let n = self.n;
+        for (r, v) in col.iter() {
+            // Column access of a row-major matrix: stride n.
+            let mut idx = r;
+            for o in out.iter_mut() {
+                *o += v * self.data[idx];
+                idx += n;
+            }
+        }
+    }
+
+    /// `out = vec^T * self` (BTRAN against a dense row vector).
+    pub fn pre_mul_dense(&self, vec: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for (i, &c) in vec.iter().enumerate() {
+            if c != 0.0 {
+                let row = self.row(i);
+                for (o, &r) in out.iter_mut().zip(row.iter()) {
+                    *o += c * r;
+                }
+            }
+        }
+    }
+
+    /// Gauss–Jordan inversion with partial pivoting, writing the inverse of
+    /// the matrix whose columns are provided by `col_of`. Returns `false` if
+    /// the matrix is numerically singular.
+    pub fn invert_from_columns<F>(&mut self, n: usize, col_of: F) -> bool
+    where
+        F: Fn(usize, &mut [f64]),
+    {
+        // Build the dense matrix B (column j = col_of(j)) in `work`, and run
+        // Gauss–Jordan on [B | I], leaving the inverse in self.data.
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, 0.0);
+        for i in 0..n {
+            self.data[i * n + i] = 1.0;
+        }
+        let mut b = vec![0.0; n * n]; // row-major copy of B
+        let mut scratch = vec![0.0; n];
+        for j in 0..n {
+            scratch.iter_mut().for_each(|v| *v = 0.0);
+            col_of(j, &mut scratch);
+            for i in 0..n {
+                b[i * n + j] = scratch[i];
+            }
+        }
+        for k in 0..n {
+            // Partial pivot.
+            let mut piv = k;
+            let mut best = b[k * n + k].abs();
+            for i in (k + 1)..n {
+                let a = b[i * n + k].abs();
+                if a > best {
+                    best = a;
+                    piv = i;
+                }
+            }
+            if best < 1e-11 {
+                return false;
+            }
+            if piv != k {
+                for j in 0..n {
+                    b.swap(k * n + j, piv * n + j);
+                    self.data.swap(k * n + j, piv * n + j);
+                }
+            }
+            let d = b[k * n + k];
+            let inv = 1.0 / d;
+            for j in 0..n {
+                b[k * n + j] *= inv;
+                self.data[k * n + j] *= inv;
+            }
+            for i in 0..n {
+                if i == k {
+                    continue;
+                }
+                let f = b[i * n + k];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    b[i * n + j] -= f * b[k * n + j];
+                    self.data[i * n + j] -= f * self.data[k * n + j];
+                }
+            }
+        }
+        true
+    }
+
+    /// Eta update after a basis change: the entering column's FTRAN image is
+    /// `w` and the leaving basic position is `r`. Applies `E · self` where
+    /// `E` is the elementary matrix for the pivot.
+    pub fn eta_update(&mut self, w: &[f64], r: usize) {
+        let n = self.n;
+        let wr = w[r];
+        debug_assert!(wr.abs() > 1e-12);
+        let inv = 1.0 / wr;
+        // Row r := row r / w_r
+        for j in 0..n {
+            self.data[r * n + j] *= inv;
+        }
+        // Row i := row i - w_i * row r (i != r)
+        // Split borrows: copy row r (n is small enough that this is cheap).
+        let row_r: Vec<f64> = self.row(r).to_vec();
+        for i in 0..n {
+            if i == r {
+                continue;
+            }
+            let wi = w[i];
+            if wi == 0.0 {
+                continue;
+            }
+            let row_i = self.row_mut(i);
+            for (a, &b) in row_i.iter_mut().zip(row_r.iter()) {
+                *a -= wi * b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_col_merges_duplicates_and_drops_zeros() {
+        let c = SparseCol::from_entries(vec![(3, 1.0), (1, 2.0), (3, -1.0), (0, 5.0)]);
+        let entries: Vec<_> = c.iter().collect();
+        assert_eq!(entries, vec![(0, 5.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn sparse_dot() {
+        let c = SparseCol::from_entries(vec![(0, 2.0), (2, 3.0)]);
+        assert_eq!(c.dot(&[1.0, 10.0, 4.0]), 14.0);
+    }
+
+    #[test]
+    fn dense_invert_2x2() {
+        let mut m = DenseMat::identity(2);
+        // B = [[2, 1], [1, 1]]; inverse = [[1, -1], [-1, 2]]
+        let ok = m.invert_from_columns(2, |j, out| {
+            if j == 0 {
+                out[0] = 2.0;
+                out[1] = 1.0;
+            } else {
+                out[0] = 1.0;
+                out[1] = 1.0;
+            }
+        });
+        assert!(ok);
+        assert!((m.data[0] - 1.0).abs() < 1e-12);
+        assert!((m.data[1] + 1.0).abs() < 1e-12);
+        assert!((m.data[2] + 1.0).abs() < 1e-12);
+        assert!((m.data[3] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_invert_singular_detected() {
+        let mut m = DenseMat::identity(2);
+        let ok = m.invert_from_columns(2, |_j, out| {
+            out[0] = 1.0;
+            out[1] = 1.0;
+        });
+        assert!(!ok);
+    }
+
+    #[test]
+    fn eta_update_matches_reinversion() {
+        // Start with B = I, replace column 1 with a = (1, 3)^T.
+        let mut m = DenseMat::identity(2);
+        let a = SparseCol::from_entries(vec![(0, 1.0), (1, 3.0)]);
+        let mut w = vec![0.0; 2];
+        m.mul_sparse(&a, &mut w);
+        m.eta_update(&w, 1);
+        // New basis = [e0, a]; inverse should satisfy inv * a = e1.
+        let mut img = vec![0.0; 2];
+        m.mul_sparse(&a, &mut img);
+        assert!((img[0] - 0.0).abs() < 1e-12);
+        assert!((img[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn col_matrix_out_of_order_insert() {
+        let mut m = ColMatrix::new(4);
+        let j = m.push_col(SparseCol::default());
+        m.add_entry(2, j, 1.0);
+        m.add_entry(0, j, 3.0);
+        m.add_entry(2, j, 1.5);
+        let entries: Vec<_> = m.col(j).iter().collect();
+        assert_eq!(entries, vec![(0, 3.0), (2, 2.5)]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-flow availability reporting: how often each flow meets a loss
+//! threshold, and the SLO-style summary operators give to customers
+//! ("bandwidth B available 99.9% of the time").
+
+use crate::percentile::LossMatrix;
+
+/// One flow's availability report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowAvailability {
+    /// Flow index.
+    pub flow: usize,
+    /// Probability mass of scenarios where loss ≤ `threshold` (residual
+    /// counts as unavailable).
+    pub availability: f64,
+    /// Worst loss observed across enumerated scenarios.
+    pub worst_loss: f64,
+    /// Probability-weighted mean loss.
+    pub mean_loss: f64,
+}
+
+/// Availability of every flow at a loss `threshold` (e.g. 0.0 for "full
+/// bandwidth available", or 0.05 to tolerate 5% loss).
+pub fn availability_report(m: &LossMatrix, threshold: f64) -> Vec<FlowAvailability> {
+    (0..m.num_flows())
+        .map(|f| {
+            let mut avail = 0.0;
+            let mut worst: f64 = 0.0;
+            let mut mean = 0.0;
+            for (q, &p) in m.prob.iter().enumerate() {
+                let l = m.loss[f][q];
+                if l <= threshold + 1e-12 {
+                    avail += p;
+                }
+                worst = worst.max(l);
+                mean += p * l;
+            }
+            // Residual mass counts as full loss.
+            mean += m.residual;
+            if m.residual > 0.0 {
+                worst = 1.0;
+            }
+            FlowAvailability { flow: f, availability: avail, worst_loss: worst, mean_loss: mean }
+        })
+        .collect()
+}
+
+/// The fraction of flows meeting an `(availability, threshold)` SLO — the
+/// aggregate a network operator reports.
+pub fn slo_compliance(m: &LossMatrix, threshold: f64, target_availability: f64) -> f64 {
+    let report = availability_report(m, threshold);
+    if report.is_empty() {
+        return 1.0;
+    }
+    report
+        .iter()
+        .filter(|r| r.availability + 1e-12 >= target_availability)
+        .count() as f64
+        / report.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> LossMatrix {
+        LossMatrix::new(
+            vec![
+                vec![0.0, 0.0, 0.5], // flow 0: available 0.99
+                vec![0.0, 0.6, 0.7], // flow 1: available 0.9
+            ],
+            vec![0.9, 0.09, 0.01],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn report_basics() {
+        let r = availability_report(&matrix(), 0.0);
+        assert!((r[0].availability - 0.99).abs() < 1e-12);
+        assert!((r[1].availability - 0.9).abs() < 1e-12);
+        assert_eq!(r[0].worst_loss, 0.5);
+        assert!((r[1].mean_loss - (0.09 * 0.6 + 0.01 * 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_tolerance() {
+        let r = availability_report(&matrix(), 0.6);
+        assert!((r[1].availability - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_hurts_availability_metrics() {
+        let m = LossMatrix::new(vec![vec![0.0]], vec![0.99], 0.01);
+        let r = availability_report(&m, 0.0);
+        assert!((r[0].availability - 0.99).abs() < 1e-12);
+        assert_eq!(r[0].worst_loss, 1.0);
+        assert!((r[0].mean_loss - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_compliance_counts_flows() {
+        let m = matrix();
+        assert!((slo_compliance(&m, 0.0, 0.95) - 0.5).abs() < 1e-12);
+        assert!((slo_compliance(&m, 0.0, 0.9) - 1.0).abs() < 1e-12);
+        assert_eq!(slo_compliance(&m, 1.0, 1.0), 1.0);
+    }
+}

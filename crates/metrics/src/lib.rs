@@ -1,0 +1,20 @@
+//! # flexile-metrics — percentile-loss metrics and post-analysis helpers
+//!
+//! The paper's primary metric is **PercLoss** (Definition 4.2): for each
+//! traffic class, the maximum across flows of the β-th percentile of the
+//! flow's loss distribution over failure scenarios. This crate computes
+//! FlowLoss / PercLoss / ScenLoss from a loss matrix produced by any TE
+//! scheme's post-analysis, plus CDF construction and the Pearson correlation
+//! used for the emulation/model comparison (Fig. 9c).
+
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod cdf;
+pub mod percentile;
+pub mod stats;
+
+pub use availability::{availability_report, slo_compliance, FlowAvailability};
+pub use cdf::{Cdf, CdfPoint};
+pub use percentile::{flow_loss, perc_loss, scen_loss, LossMatrix};
+pub use stats::pearson_correlation;

@@ -1,0 +1,59 @@
+//! Small statistics helpers.
+
+/// Pearson correlation coefficient between two equal-length samples.
+/// Returns `NaN` for degenerate inputs (fewer than 2 points or zero
+/// variance).
+pub fn pearson_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return f64::NAN;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pearson_correlation;
+
+    #[test]
+    fn perfect_positive() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((pearson_correlation(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_nan() {
+        assert!(pearson_correlation(&[1.0, 1.0], &[0.0, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn uncorrelated_is_small() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, -1.0, -1.0, 1.0];
+        assert!(pearson_correlation(&a, &b).abs() < 0.2);
+    }
+}

@@ -1,0 +1,243 @@
+//! Exact enumeration of failure scenarios in decreasing probability order.
+//!
+//! With independent unit failures and probabilities `p_u < 0.5`, the
+//! probability of a scenario (a failed subset `S`) is
+//! `P(S) = Π_{u} (1-p_u) · Π_{u∈S} r_u` with odds ratio `r_u = p_u/(1-p_u)`.
+//! After sorting units by decreasing `r`, subsets can be generated in
+//! non-increasing probability with the classic heap expansion: from a subset
+//! whose largest element (in sorted order) is `i`, emit children
+//! `S ∪ {i+1}` and `(S \ {i}) ∪ {i+1}`. Both children have probability no
+//! larger than the parent and every subset is generated exactly once.
+//!
+//! Enumeration stops at the probability cutoff (the paper discards scenarios
+//! below 1e-6), a scenario-count cap, or a cumulative coverage target —
+//! whichever comes first. The uncovered mass is reported as the residual.
+
+use crate::model::{FailureUnit, Scenario, ScenarioSet};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Options controlling scenario enumeration.
+#[derive(Debug, Clone)]
+pub struct EnumOptions {
+    /// Discard scenarios with probability below this (paper: 1e-6).
+    pub prob_cutoff: f64,
+    /// Hard cap on the number of enumerated scenarios.
+    pub max_scenarios: usize,
+    /// Stop once enumerated mass reaches this coverage.
+    pub coverage_target: f64,
+}
+
+impl Default for EnumOptions {
+    fn default() -> Self {
+        EnumOptions {
+            prob_cutoff: 1e-6,
+            max_scenarios: 2_000,
+            coverage_target: 0.999_999,
+        }
+    }
+}
+
+struct HeapState {
+    prob: f64,
+    /// Indices into the *sorted* unit order, ascending.
+    subset: Vec<u32>,
+}
+
+impl PartialEq for HeapState {
+    fn eq(&self, other: &Self) -> bool {
+        self.prob == other.prob && self.subset == other.subset
+    }
+}
+impl Eq for HeapState {}
+impl PartialOrd for HeapState {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapState {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.prob
+            .partial_cmp(&other.prob)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.subset.cmp(&self.subset))
+    }
+}
+
+/// Enumerate failure scenarios over `units` for a topology with `num_links`
+/// links. Scenarios come out in non-increasing probability order; the
+/// first scenario is always the all-alive state.
+pub fn enumerate_scenarios(
+    units: &[FailureUnit],
+    num_links: usize,
+    opts: &EnumOptions,
+) -> ScenarioSet {
+    for u in units {
+        assert!(
+            u.prob > 0.0 && u.prob < 0.5,
+            "unit failure probabilities must lie in (0, 0.5), got {}",
+            u.prob
+        );
+    }
+    // Sort unit indices by decreasing odds ratio.
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    let odds: Vec<f64> = units.iter().map(|u| u.prob / (1.0 - u.prob)).collect();
+    order.sort_by(|&a, &b| odds[b].partial_cmp(&odds[a]).unwrap_or(Ordering::Equal));
+    let sorted_odds: Vec<f64> = order.iter().map(|&i| odds[i]).collect();
+
+    let p_all_alive: f64 = units.iter().map(|u| 1.0 - u.prob).product();
+
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapState { prob: p_all_alive, subset: Vec::new() });
+
+    let mut scenarios = Vec::new();
+    let mut covered = 0.0;
+    while let Some(HeapState { prob, subset }) = heap.pop() {
+        if prob < opts.prob_cutoff || scenarios.len() >= opts.max_scenarios {
+            break;
+        }
+        // Materialize the scenario.
+        let mut cap = vec![1.0f64; num_links];
+        let mut failed_units: Vec<u32> = Vec::with_capacity(subset.len());
+        for &si in &subset {
+            let u = order[si as usize];
+            failed_units.push(u as u32);
+            for &(l, share) in &units[u].affects {
+                cap[l.index()] = (cap[l.index()] - share).max(0.0);
+            }
+        }
+        failed_units.sort_unstable();
+        covered += prob;
+        scenarios.push(Scenario { failed_units, prob, cap_factor: cap, demand_factor: 1.0 });
+        if covered >= opts.coverage_target {
+            break;
+        }
+
+        // Children in sorted-index space.
+        let last = subset.last().copied();
+        let next = last.map_or(0, |l| l + 1);
+        if (next as usize) < sorted_odds.len() {
+            // Child 1: extend with `next`.
+            let mut s1 = subset.clone();
+            s1.push(next);
+            heap.push(HeapState { prob: prob * sorted_odds[next as usize], subset: s1 });
+            // Child 2: replace `last` with `next`.
+            if let Some(l) = last {
+                let mut s2 = subset.clone();
+                *s2.last_mut().expect("nonempty") = next;
+                heap.push(HeapState {
+                    prob: prob / sorted_odds[l as usize] * sorted_odds[next as usize],
+                    subset: s2,
+                });
+            }
+        }
+    }
+
+    ScenarioSet {
+        units: units.to_vec(),
+        scenarios,
+        residual: (1.0 - covered).max(0.0),
+        num_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::link_units;
+    use flexile_topo::Topology;
+
+    fn units3(p: [f64; 3]) -> Vec<FailureUnit> {
+        let t = Topology::new("t", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        link_units(&t, &p)
+    }
+
+    #[test]
+    fn full_enumeration_covers_everything() {
+        let u = units3([0.1, 0.2, 0.3]);
+        let opts = EnumOptions { prob_cutoff: 0.0, max_scenarios: 100, coverage_target: 2.0 };
+        let set = enumerate_scenarios(&u, 3, &opts);
+        assert_eq!(set.scenarios.len(), 8);
+        let total: f64 = set.scenarios.iter().map(|s| s.prob).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(set.residual < 1e-12);
+    }
+
+    #[test]
+    fn order_is_non_increasing() {
+        let u = units3([0.01, 0.05, 0.2]);
+        let opts = EnumOptions { prob_cutoff: 0.0, max_scenarios: 100, coverage_target: 2.0 };
+        let set = enumerate_scenarios(&u, 3, &opts);
+        for w in set.scenarios.windows(2) {
+            assert!(w[0].prob >= w[1].prob - 1e-15);
+        }
+        // First scenario is all-alive.
+        assert!(set.scenarios[0].failed_units.is_empty());
+    }
+
+    #[test]
+    fn probabilities_match_independent_model() {
+        let p = [0.1, 0.2, 0.3];
+        let u = units3(p);
+        let opts = EnumOptions { prob_cutoff: 0.0, max_scenarios: 100, coverage_target: 2.0 };
+        let set = enumerate_scenarios(&u, 3, &opts);
+        for s in &set.scenarios {
+            let mut expect = 1.0;
+            for i in 0..3 {
+                if s.failed_units.contains(&(i as u32)) {
+                    expect *= p[i];
+                } else {
+                    expect *= 1.0 - p[i];
+                }
+            }
+            assert!((s.prob - expect).abs() < 1e-12, "{:?}", s.failed_units);
+        }
+    }
+
+    #[test]
+    fn cutoff_produces_residual() {
+        let u = units3([0.002, 0.002, 0.002]);
+        let opts = EnumOptions { prob_cutoff: 1e-6, max_scenarios: 100, coverage_target: 2.0 };
+        let set = enumerate_scenarios(&u, 3, &opts);
+        // Double failures (~4e-6) survive the 1e-6 cutoff; the triple
+        // failure (8e-9) is cut and lands in the residual.
+        assert_eq!(set.scenarios.len(), 7);
+        assert!(set.residual > 0.0 && set.residual < 1e-7);
+    }
+
+    #[test]
+    fn cap_factor_reflects_sublinks() {
+        use crate::model::sublink_units;
+        let t = Topology::new("t", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        let u = sublink_units(&t, &[0.1, 0.1, 0.1]);
+        let opts = EnumOptions { prob_cutoff: 0.0, max_scenarios: 100, coverage_target: 2.0 };
+        let set = enumerate_scenarios(&u, 3, &opts);
+        assert_eq!(set.scenarios.len(), 64);
+        for s in &set.scenarios {
+            for &c in &s.cap_factor {
+                assert!(c == 0.0 || c == 0.5 || c == 1.0);
+            }
+        }
+        // Some scenario should show a half-capacity link.
+        assert!(set
+            .scenarios
+            .iter()
+            .any(|s| s.cap_factor.iter().any(|&c| c == 0.5)));
+    }
+
+    #[test]
+    fn max_scenarios_cap_respected() {
+        let u = units3([0.1, 0.1, 0.1]);
+        let opts = EnumOptions { prob_cutoff: 0.0, max_scenarios: 3, coverage_target: 2.0 };
+        let set = enumerate_scenarios(&u, 3, &opts);
+        assert_eq!(set.scenarios.len(), 3);
+        assert!(set.residual > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn prob_half_rejected() {
+        let u = units3([0.5, 0.1, 0.1]);
+        enumerate_scenarios(&u, 3, &EnumOptions::default());
+    }
+}

@@ -1,0 +1,33 @@
+//! # flexile-scenario — probabilistic failure model
+//!
+//! Generates the failure-scenario sets `Q` the paper designs against:
+//!
+//! * [`weibull`] — per-link failure probabilities drawn from a Weibull
+//!   distribution whose median matches the ≈0.001 empirical WAN failure rate
+//!   (the paper's §6 methodology, following Teavar).
+//! * [`model`] — *failure units*: the independently-failing entities. A unit
+//!   may be a whole link, a half-capacity sub-link (the "richly connected"
+//!   variants of Fig. 12) or a Shared Risk Link Group spanning several links
+//!   (§4.1). A scenario is a subset of failed units; each link gets a
+//!   *capacity factor* in `[0, 1]` — exactly the `m_eq` coefficient of the
+//!   paper's reformulated subproblem (18).
+//! * [`enumerate`] — exact enumeration of failure scenarios in strictly
+//!   decreasing probability order (heap expansion over sorted odds-ratios),
+//!   with a probability cutoff (default 1e-6, like the paper) and an
+//!   explicit *residual* mass for everything not enumerated.
+
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod model;
+pub mod montecarlo;
+pub mod stats;
+pub mod tm;
+pub mod weibull;
+
+pub use enumerate::{enumerate_scenarios, EnumOptions};
+pub use model::{FailureUnit, Scenario, ScenarioSet};
+pub use montecarlo::{estimate_probability, sample_failures};
+pub use stats::{scenario_stats, ScenarioStats};
+pub use tm::with_demand_levels;
+pub use weibull::{link_failure_probs, weibull_inverse_cdf};

@@ -1,0 +1,219 @@
+//! Failure units, scenarios and scenario sets.
+
+use flexile_topo::{LinkId, Topology, TunnelSet};
+
+/// An independently-failing entity. Failing a unit removes `share` of the
+/// capacity of every link it touches:
+///
+/// * whole-link failure: one `(link, 1.0)` entry;
+/// * sub-link failure (richly-connected variants): `(link, 0.5)`;
+/// * SRLG: several `(link, 1.0)` entries that fail together.
+#[derive(Debug, Clone)]
+pub struct FailureUnit {
+    /// Links affected, with the capacity share removed on failure.
+    pub affects: Vec<(LinkId, f64)>,
+    /// Independent failure probability of this unit.
+    pub prob: f64,
+}
+
+impl FailureUnit {
+    /// A whole-link unit.
+    pub fn link(l: LinkId, prob: f64) -> Self {
+        FailureUnit { affects: vec![(l, 1.0)], prob }
+    }
+
+    /// A half-capacity sub-link unit.
+    pub fn sublink(l: LinkId, prob: f64) -> Self {
+        FailureUnit { affects: vec![(l, 0.5)], prob }
+    }
+
+    /// A shared-risk group failing several whole links together.
+    pub fn srlg(links: &[LinkId], prob: f64) -> Self {
+        FailureUnit { affects: links.iter().map(|&l| (l, 1.0)).collect(), prob }
+    }
+}
+
+/// One failure scenario: a subset of failed units, its probability, and the
+/// per-link capacity factor (`m_eq` in the paper's reformulation (18)).
+///
+/// `demand_factor` supports the §4.4 "more general scenarios"
+/// generalization where each scenario also carries a traffic-matrix level
+/// (`d_f` becomes `d_f^q`): 1.0 for plain failure scenarios; see
+/// [`crate::tm::with_demand_levels`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Indices of failed units.
+    pub failed_units: Vec<u32>,
+    /// Scenario probability.
+    pub prob: f64,
+    /// `cap_factor[l] ∈ [0,1]`: surviving capacity fraction of link `l`.
+    pub cap_factor: Vec<f64>,
+    /// Uniform demand multiplier for this scenario (§4.4), default 1.0.
+    pub demand_factor: f64,
+}
+
+impl Scenario {
+    /// Whether link `l` is completely dead.
+    pub fn link_dead(&self, l: LinkId) -> bool {
+        self.cap_factor[l.index()] <= 0.0
+    }
+
+    /// Dead-link mask (`true` = dead), as consumed by path liveness checks.
+    pub fn dead_mask(&self) -> Vec<bool> {
+        self.cap_factor.iter().map(|&c| c <= 0.0).collect()
+    }
+}
+
+/// An enumerated set of failure scenarios plus the unenumerated residual.
+#[derive(Debug, Clone)]
+pub struct ScenarioSet {
+    /// The failure units the set was enumerated from.
+    pub units: Vec<FailureUnit>,
+    /// Scenarios in decreasing probability order; `scenarios[0]` is always
+    /// the all-alive state.
+    pub scenarios: Vec<Scenario>,
+    /// Probability mass of scenarios not enumerated.
+    pub residual: f64,
+    /// Number of links of the underlying topology.
+    pub num_links: usize,
+}
+
+impl ScenarioSet {
+    /// Total enumerated probability.
+    pub fn covered_prob(&self) -> f64 {
+        1.0 - self.residual
+    }
+
+    /// Per-scenario probabilities.
+    pub fn probs(&self) -> Vec<f64> {
+        self.scenarios.iter().map(|s| s.prob).collect()
+    }
+
+    /// For each scenario, whether each pair of `tunnels` has a live tunnel.
+    /// `alive[q][p]` is true when pair `p` can carry traffic in scenario `q`.
+    pub fn pair_alive_matrix(&self, tunnels: &TunnelSet) -> Vec<Vec<bool>> {
+        self.scenarios
+            .iter()
+            .map(|s| {
+                let dead = s.dead_mask();
+                (0..tunnels.pairs.len())
+                    .map(|p| tunnels.pair_alive(p, &dead))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The largest design target β such that every pair still has a live
+    /// tunnel in enumerated scenarios totalling probability ≥ β (§6: "our
+    /// design target is set to as high a probability target as possible,
+    /// while ensuring all flows remain connected"). Returns the minimum over
+    /// pairs of the alive probability, minus a small safety margin.
+    pub fn max_feasible_beta(&self, tunnels: &TunnelSet) -> f64 {
+        let alive = self.pair_alive_matrix(tunnels);
+        let mut min_alive = f64::INFINITY;
+        for p in 0..tunnels.pairs.len() {
+            let mass: f64 = self
+                .scenarios
+                .iter()
+                .enumerate()
+                .filter(|(q, _)| alive[*q][p])
+                .map(|(_, s)| s.prob)
+                .sum();
+            min_alive = min_alive.min(mass);
+        }
+        if min_alive.is_infinite() {
+            return 0.0;
+        }
+        // Tiny safety margin keeps percentile boundary cases stable.
+        (min_alive - 1e-9).max(0.0)
+    }
+}
+
+/// Build whole-link failure units for a topology from per-link
+/// probabilities.
+pub fn link_units(topo: &Topology, probs: &[f64]) -> Vec<FailureUnit> {
+    assert_eq!(probs.len(), topo.num_links());
+    topo.links()
+        .map(|(id, _)| FailureUnit::link(id, probs[id.index()]))
+        .collect()
+}
+
+/// Build the "richly connected" variant of Fig. 12: each link becomes two
+/// independently-failing sub-links, each holding half the capacity.
+pub fn sublink_units(topo: &Topology, probs: &[f64]) -> Vec<FailureUnit> {
+    assert_eq!(probs.len(), topo.num_links());
+    let mut units = Vec::with_capacity(2 * topo.num_links());
+    for (id, _) in topo.links() {
+        units.push(FailureUnit::sublink(id, probs[id.index()]));
+        units.push(FailureUnit::sublink(id, probs[id.index()]));
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexile_topo::graph::Topology;
+    use flexile_topo::{NodeId, TunnelClass};
+
+    fn triangle() -> Topology {
+        Topology::new("t", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)])
+    }
+
+    #[test]
+    fn unit_constructors() {
+        let u = FailureUnit::link(LinkId(2), 0.01);
+        assert_eq!(u.affects, vec![(LinkId(2), 1.0)]);
+        let s = FailureUnit::sublink(LinkId(0), 0.02);
+        assert_eq!(s.affects, vec![(LinkId(0), 0.5)]);
+        let g = FailureUnit::srlg(&[LinkId(0), LinkId(1)], 0.005);
+        assert_eq!(g.affects.len(), 2);
+    }
+
+    #[test]
+    fn scenario_dead_mask() {
+        let s = Scenario {
+            failed_units: vec![0],
+            prob: 0.01,
+            cap_factor: vec![0.0, 1.0, 0.5],
+            demand_factor: 1.0,
+        };
+        assert!(s.link_dead(LinkId(0)));
+        assert!(!s.link_dead(LinkId(2)));
+        assert_eq!(s.dead_mask(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn link_and_sublink_unit_builders() {
+        let t = triangle();
+        let probs = vec![0.01, 0.02, 0.03];
+        assert_eq!(link_units(&t, &probs).len(), 3);
+        let subs = sublink_units(&t, &probs);
+        assert_eq!(subs.len(), 6);
+        assert!(subs.iter().all(|u| u.affects[0].1 == 0.5));
+    }
+
+    #[test]
+    fn max_feasible_beta_triangle() {
+        let t = triangle();
+        // Hand-built scenarios: all alive (0.97), link0 dead (0.02),
+        // links 0+1 dead (0.01) -> node 0 isolated.
+        let set = ScenarioSet {
+            units: link_units(&t, &[0.02, 0.01, 0.01]),
+            scenarios: vec![
+                Scenario { failed_units: vec![], prob: 0.97, cap_factor: vec![1.0, 1.0, 1.0], demand_factor: 1.0 },
+                Scenario { failed_units: vec![0], prob: 0.02, cap_factor: vec![0.0, 1.0, 1.0], demand_factor: 1.0 },
+                Scenario { failed_units: vec![0, 1], prob: 0.01, cap_factor: vec![0.0, 0.0, 1.0], demand_factor: 1.0 },
+            ],
+            residual: 0.0,
+            num_links: 3,
+        };
+        let pairs = t.ordered_pairs();
+        let ts = TunnelSet::build(&t, &pairs, TunnelClass::SingleClass);
+        // When links 0 and 1 are dead node 0 is cut off: pairs touching node
+        // 0 are alive with prob 0.99, the rest 1.0.
+        let beta = set.max_feasible_beta(&ts);
+        assert!((beta - 0.99).abs() < 1e-6, "beta = {beta}");
+        let _ = NodeId(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Monte-Carlo sampling of the failure model — an independent check on the
+//! exact enumeration (and on any percentile computed from it).
+//!
+//! The enumerated [`crate::ScenarioSet`] is an analytic object; sampling
+//! raw unit failures gives an empirical distribution to cross-validate it:
+//! the empirical frequency of each enumerated scenario must converge to its
+//! probability, and empirical quantiles of any per-scenario statistic must
+//! converge to the analytic ones. The tests in this module (and the
+//! workspace suite) use it exactly that way.
+
+use crate::model::{FailureUnit, Scenario};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw `samples` independent failure states of the given units. Each
+/// sample is materialized like an enumerated [`Scenario`] (probability is
+/// set to `1/samples`, demand factor 1).
+pub fn sample_failures(
+    units: &[FailureUnit],
+    num_links: usize,
+    samples: usize,
+    seed: u64,
+) -> Vec<Scenario> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| {
+            let mut cap = vec![1.0f64; num_links];
+            let mut failed = Vec::new();
+            for (u, unit) in units.iter().enumerate() {
+                if rng.random_range(0.0..1.0) < unit.prob {
+                    failed.push(u as u32);
+                    for &(l, share) in &unit.affects {
+                        cap[l.index()] = (cap[l.index()] - share).max(0.0);
+                    }
+                }
+            }
+            Scenario {
+                failed_units: failed,
+                prob: 1.0 / samples as f64,
+                cap_factor: cap,
+                demand_factor: 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Empirical estimate of the probability that predicate `pred` holds,
+/// from `samples` draws.
+pub fn estimate_probability<F>(
+    units: &[FailureUnit],
+    num_links: usize,
+    samples: usize,
+    seed: u64,
+    mut pred: F,
+) -> f64
+where
+    F: FnMut(&Scenario) -> bool,
+{
+    let draws = sample_failures(units, num_links, samples, seed);
+    draws.iter().filter(|s| pred(s)).count() as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_scenarios, EnumOptions};
+    use crate::model::link_units;
+    use flexile_topo::{LinkId, Topology};
+
+    fn units() -> Vec<FailureUnit> {
+        let t = Topology::new("t", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        link_units(&t, &[0.05, 0.1, 0.15])
+    }
+
+    #[test]
+    fn marginals_converge() {
+        let u = units();
+        for (l, expect) in [(0usize, 0.05), (1, 0.1), (2, 0.15)] {
+            let p = estimate_probability(&u, 3, 60_000, 42 + l as u64, |s| {
+                s.link_dead(LinkId(l as u32))
+            });
+            assert!(
+                (p - expect).abs() < 0.01,
+                "link {l}: empirical {p} vs analytic {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumerated_probabilities_match_sampling() {
+        let u = units();
+        let set = enumerate_scenarios(
+            &u,
+            3,
+            &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+        );
+        let draws = sample_failures(&u, 3, 80_000, 7);
+        for scen in &set.scenarios {
+            let hits = draws
+                .iter()
+                .filter(|d| d.failed_units == scen.failed_units)
+                .count() as f64
+                / draws.len() as f64;
+            assert!(
+                (hits - scen.prob).abs() < 0.01,
+                "{:?}: empirical {hits} vs analytic {}",
+                scen.failed_units,
+                scen.prob
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_by_seed() {
+        let u = units();
+        let a = sample_failures(&u, 3, 100, 5);
+        let b = sample_failures(&u, 3, 100, 5);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.failed_units, y.failed_units);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Diagnostics over scenario sets: link criticality, expected capacity
+//! loss, and failure-size distribution. Useful when deciding enumeration
+//! budgets and explaining *why* a design marks certain scenarios critical.
+
+use crate::model::ScenarioSet;
+
+/// Summary statistics of a scenario set.
+#[derive(Debug, Clone)]
+pub struct ScenarioStats {
+    /// Number of enumerated scenarios.
+    pub count: usize,
+    /// Covered probability mass.
+    pub covered: f64,
+    /// Probability-weighted expected fraction of total capacity lost.
+    pub expected_capacity_loss: f64,
+    /// `size_dist[k]` = probability mass of scenarios with `k` failed
+    /// units (truncated at the largest observed size).
+    pub size_dist: Vec<f64>,
+    /// Per-link probability that the link is fully dead.
+    pub link_dead_prob: Vec<f64>,
+}
+
+/// Compute [`ScenarioStats`] for a set.
+pub fn scenario_stats(set: &ScenarioSet) -> ScenarioStats {
+    let nl = set.num_links;
+    let mut expected_loss = 0.0;
+    let mut link_dead = vec![0.0; nl];
+    let max_size = set
+        .scenarios
+        .iter()
+        .map(|s| s.failed_units.len())
+        .max()
+        .unwrap_or(0);
+    let mut size_dist = vec![0.0; max_size + 1];
+    for s in &set.scenarios {
+        let lost: f64 = s.cap_factor.iter().map(|c| 1.0 - c).sum::<f64>() / nl.max(1) as f64;
+        expected_loss += s.prob * lost;
+        size_dist[s.failed_units.len()] += s.prob;
+        for (l, &c) in s.cap_factor.iter().enumerate() {
+            if c <= 0.0 {
+                link_dead[l] += s.prob;
+            }
+        }
+    }
+    ScenarioStats {
+        count: set.scenarios.len(),
+        covered: set.covered_prob(),
+        expected_capacity_loss: expected_loss,
+        size_dist,
+        link_dead_prob: link_dead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_scenarios, EnumOptions};
+    use crate::model::link_units;
+    use flexile_topo::Topology;
+
+    fn set3(p: f64) -> ScenarioSet {
+        let t = Topology::new("t", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        let units = link_units(&t, &[p; 3]);
+        enumerate_scenarios(
+            &units,
+            3,
+            &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+        )
+    }
+
+    #[test]
+    fn link_dead_probability_matches_marginal() {
+        let set = set3(0.1);
+        let st = scenario_stats(&set);
+        for &p in &st.link_dead_prob {
+            assert!((p - 0.1).abs() < 1e-12, "marginal {p} != 0.1");
+        }
+    }
+
+    #[test]
+    fn size_distribution_sums_to_coverage() {
+        let set = set3(0.05);
+        let st = scenario_stats(&set);
+        let total: f64 = st.size_dist.iter().sum();
+        assert!((total - st.covered).abs() < 1e-12);
+        assert_eq!(st.size_dist.len(), 4); // 0..=3 failures
+        // Binomial check for the all-alive mass.
+        assert!((st.size_dist[0] - 0.95f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_capacity_loss_matches_marginals() {
+        // With independent whole-link failures, expected fraction of
+        // capacity lost equals the mean failure probability.
+        let set = set3(0.2);
+        let st = scenario_stats(&set);
+        assert!((st.expected_capacity_loss - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Traffic-matrix scenarios (§4.4 "More general scenarios").
+//!
+//! The paper notes that formulation (I) extends to designing for a set of
+//! traffic matrices: each scenario `q` then carries its own demands
+//! `d_f^q`, and the decomposition still applies (cuts remain per-scenario
+//! valid; only the cross-scenario dual sharing is lost because the demand
+//! coefficients enter the constraint matrix).
+//!
+//! [`with_demand_levels`] builds the cross product of a failure-scenario
+//! set with a discrete distribution over demand levels — e.g. a "normal"
+//! matrix 80% of the time and a 1.4× surge 20% of the time — assuming
+//! demand levels are independent of failures.
+
+use crate::model::{Scenario, ScenarioSet};
+
+/// Cross a failure-scenario set with independent demand levels
+/// `(factor, probability)`. Probabilities must sum to 1 (±1e-9); factors
+/// must be positive. The residual mass is preserved.
+pub fn with_demand_levels(set: &ScenarioSet, levels: &[(f64, f64)]) -> ScenarioSet {
+    assert!(!levels.is_empty(), "need at least one demand level");
+    let total_p: f64 = levels.iter().map(|&(_, p)| p).sum();
+    assert!(
+        (total_p - 1.0).abs() < 1e-9,
+        "demand-level probabilities must sum to 1, got {total_p}"
+    );
+    assert!(levels.iter().all(|&(f, p)| f > 0.0 && p >= 0.0));
+
+    let mut scenarios = Vec::with_capacity(set.scenarios.len() * levels.len());
+    for s in &set.scenarios {
+        for &(factor, p) in levels {
+            if p <= 0.0 {
+                continue;
+            }
+            scenarios.push(Scenario {
+                failed_units: s.failed_units.clone(),
+                prob: s.prob * p,
+                cap_factor: s.cap_factor.clone(),
+                demand_factor: s.demand_factor * factor,
+            });
+        }
+    }
+    // Keep the non-increasing probability order the consumers rely on.
+    scenarios.sort_by(|a, b| b.prob.partial_cmp(&a.prob).unwrap_or(std::cmp::Ordering::Equal));
+    ScenarioSet {
+        units: set.units.clone(),
+        scenarios,
+        residual: set.residual,
+        num_links: set.num_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_scenarios, EnumOptions};
+    use crate::model::link_units;
+    use flexile_topo::Topology;
+
+    fn base_set() -> ScenarioSet {
+        let t = Topology::new("t", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        let units = link_units(&t, &[0.01, 0.01, 0.01]);
+        enumerate_scenarios(
+            &units,
+            3,
+            &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+        )
+    }
+
+    #[test]
+    fn cross_product_shapes_and_mass() {
+        let set = base_set();
+        let tm = with_demand_levels(&set, &[(1.0, 0.8), (1.4, 0.2)]);
+        assert_eq!(tm.scenarios.len(), 16);
+        let total: f64 = tm.scenarios.iter().map(|s| s.prob).sum();
+        assert!((total + tm.residual - 1.0).abs() < 1e-9);
+        assert!(tm.scenarios.iter().any(|s| (s.demand_factor - 1.4).abs() < 1e-12));
+        // Order remains non-increasing.
+        for w in tm.scenarios.windows(2) {
+            assert!(w[0].prob >= w[1].prob - 1e-15);
+        }
+    }
+
+    #[test]
+    fn zero_probability_levels_dropped() {
+        let set = base_set();
+        let tm = with_demand_levels(&set, &[(1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(tm.scenarios.len(), 8);
+        assert!(tm.scenarios.iter().all(|s| s.demand_factor == 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn probabilities_must_sum_to_one() {
+        let set = base_set();
+        let _ = with_demand_levels(&set, &[(1.0, 0.5), (1.5, 0.4)]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Weibull-distributed link failure probabilities (§6 "Failure scenarios").
+//!
+//! The paper (like Teavar) draws each link's failure probability from a
+//! Weibull distribution, choosing parameters so the *median* probability is
+//! approximately 0.001, matching empirical WAN failure studies. We sample by
+//! inverse CDF so only `rand`'s uniform generator is needed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverse CDF of the Weibull distribution with shape `k` and scale
+/// `lambda`: returns `x` with `F(x) = u`.
+pub fn weibull_inverse_cdf(u: f64, k: f64, lambda: f64) -> f64 {
+    assert!((0.0..1.0).contains(&u), "u must be in [0,1)");
+    assert!(k > 0.0 && lambda > 0.0);
+    lambda * (-(1.0 - u).ln()).powf(1.0 / k)
+}
+
+/// Default Weibull shape used by the evaluation (long-tailed, like Teavar's
+/// fits to Microsoft WAN data).
+pub const DEFAULT_SHAPE: f64 = 0.8;
+
+/// Default target median failure probability (≈ the empirical WAN median).
+pub const DEFAULT_MEDIAN: f64 = 0.001;
+
+/// Sample `n` per-link failure probabilities from a Weibull distribution
+/// with the given shape, scaled so the distribution median equals
+/// `median_target`. Probabilities are clamped into `[1e-5, 0.3]` so no link
+/// is perfectly reliable or absurdly flaky.
+pub fn link_failure_probs(n: usize, shape: f64, median_target: f64, seed: u64) -> Vec<f64> {
+    // Median of Weibull(k, λ) is λ (ln 2)^{1/k}.
+    let lambda = median_target / (2f64.ln()).powf(1.0 / shape);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0..1.0);
+            weibull_inverse_cdf(u, shape, lambda).clamp(1e-5, 0.3)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_cdf_median() {
+        // F^{-1}(0.5) should equal λ (ln2)^{1/k}.
+        let k = 0.8;
+        let lam = 2.0;
+        let med = weibull_inverse_cdf(0.5, k, lam);
+        assert!((med - lam * (2f64.ln()).powf(1.0 / k)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_cdf_monotone() {
+        let mut last = 0.0;
+        for i in 1..100 {
+            let x = weibull_inverse_cdf(i as f64 / 100.0, 0.8, 1.0);
+            assert!(x >= last);
+            last = x;
+        }
+    }
+
+    #[test]
+    fn sampled_median_near_target() {
+        let probs = link_failure_probs(20_001, DEFAULT_SHAPE, DEFAULT_MEDIAN, 42);
+        let mut s = probs.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = s[s.len() / 2];
+        assert!(
+            (med - DEFAULT_MEDIAN).abs() < 0.0005,
+            "sampled median {med} far from target"
+        );
+    }
+
+    #[test]
+    fn probabilities_clamped() {
+        for p in link_failure_probs(5_000, 0.5, 0.001, 7) {
+            assert!((1e-5..=0.3).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(
+            link_failure_probs(10, 0.8, 0.001, 9),
+            link_failure_probs(10, 0.8, 0.001, 9)
+        );
+        assert_ne!(
+            link_failure_probs(10, 0.8, 0.001, 9),
+            link_failure_probs(10, 0.8, 0.001, 10)
+        );
+    }
+}

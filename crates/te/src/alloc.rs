@@ -1,0 +1,184 @@
+//! Shared scaffolding for per-scenario allocation LPs.
+//!
+//! Every online scheme (ScenBest, SWAN, Flexile's online phase) solves the
+//! same kind of model per failure scenario: tunnel-bandwidth variables for
+//! the live tunnels of each (class, pair), per-directed-arc capacity rows
+//! scaled by the scenario's capacity factors, and per-pair "served
+//! bandwidth" expressions. [`ScenAlloc`] builds that skeleton once per
+//! scenario and lets schemes layer objectives and side constraints on top.
+
+use flexile_lp::{Model, Sense, VarId};
+use flexile_scenario::Scenario;
+use flexile_traffic::Instance;
+
+/// Per-scenario allocation model skeleton.
+pub struct ScenAlloc<'a> {
+    /// The underlying LP model (mutable access for scheme-specific rows).
+    pub model: Model,
+    /// The instance this allocates for.
+    pub inst: &'a Instance,
+    /// `x[k][p][t]`: bandwidth variable of tunnel `t` of pair `p`, class
+    /// `k`. Dead tunnels get a fixed `[0,0]` variable so indexing stays
+    /// uniform.
+    pub x: Vec<Vec<Vec<VarId>>>,
+    /// `tunnel_alive[k][p][t]` for this scenario.
+    pub tunnel_alive: Vec<Vec<Vec<bool>>>,
+    /// Whether pair `p` of class `k` has any live tunnel.
+    pub pair_alive: Vec<Vec<bool>>,
+}
+
+impl<'a> ScenAlloc<'a> {
+    /// Build the skeleton: variables + capacity rows for `scen`.
+    pub fn new(inst: &'a Instance, scen: &Scenario, sense: Sense) -> Self {
+        let mut model = Model::new(sense);
+        let dead = scen.dead_mask();
+        let num_arcs = inst.num_arcs();
+        let mut arc_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); num_arcs];
+        let mut x = Vec::with_capacity(inst.num_classes());
+        let mut tunnel_alive = Vec::with_capacity(inst.num_classes());
+        let mut pair_alive = Vec::with_capacity(inst.num_classes());
+        for k in 0..inst.num_classes() {
+            let mut xk = Vec::with_capacity(inst.num_pairs());
+            let mut ak = Vec::with_capacity(inst.num_pairs());
+            let mut pk = Vec::with_capacity(inst.num_pairs());
+            for p in 0..inst.num_pairs() {
+                let tunnels = &inst.tunnels[k].tunnels[p];
+                let mut xp = Vec::with_capacity(tunnels.len());
+                let mut ap = Vec::with_capacity(tunnels.len());
+                let mut any = false;
+                for (t, path) in tunnels.iter().enumerate() {
+                    let alive = path.alive(&dead);
+                    any |= alive;
+                    let ub = if alive { f64::INFINITY } else { 0.0 };
+                    let v = model.add_var(&format!("x_{k}_{p}_{t}"), 0.0, ub, 0.0);
+                    if alive {
+                        for a in inst.arc_ids(path) {
+                            arc_terms[a].push((v, 1.0));
+                        }
+                    }
+                    xp.push(v);
+                    ap.push(alive);
+                }
+                xk.push(xp);
+                ak.push(ap);
+                pk.push(any);
+            }
+            x.push(xk);
+            tunnel_alive.push(ak);
+            pair_alive.push(pk);
+        }
+        for (a, terms) in arc_terms.into_iter().enumerate() {
+            if terms.is_empty() {
+                continue;
+            }
+            let factor = scen.cap_factor[inst.arc_link(a)];
+            model.add_row_le(&terms, inst.arc_capacity(a) * factor);
+        }
+        ScenAlloc { model, inst, x, tunnel_alive, pair_alive }
+    }
+
+    /// Coefficient list for the served bandwidth of `(class, pair)` over its
+    /// live tunnels.
+    pub fn served_coeffs(&self, k: usize, p: usize) -> Vec<(VarId, f64)> {
+        self.x[k][p]
+            .iter()
+            .zip(self.tunnel_alive[k][p].iter())
+            .filter(|(_, &alive)| alive)
+            .map(|(&v, _)| (v, 1.0))
+            .collect()
+    }
+
+    /// Served bandwidth of `(class, pair)` at a solution.
+    pub fn served_at(&self, sol: &flexile_lp::Solution, k: usize, p: usize) -> f64 {
+        self.x[k][p]
+            .iter()
+            .zip(self.tunnel_alive[k][p].iter())
+            .filter(|(_, &alive)| alive)
+            .map(|(&v, _)| sol.value(v))
+            .sum()
+    }
+
+    /// Loss of `(class, pair)` at a solution, given its demand.
+    pub fn loss_at(&self, sol: &flexile_lp::Solution, k: usize, p: usize) -> f64 {
+        let d = self.inst.demands[k][p];
+        if d <= 0.0 {
+            return 0.0;
+        }
+        crate::types::clamp_loss(1.0 - self.served_at(sol, k, p) / d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexile_scenario::{enumerate_scenarios, model::link_units, EnumOptions};
+    use flexile_topo::topology_by_name;
+    use flexile_traffic::Instance;
+
+    fn sprint_instance() -> (Instance, flexile_scenario::ScenarioSet) {
+        let topo = topology_by_name("Sprint").unwrap();
+        let probs = vec![0.01; topo.num_links()];
+        let units = link_units(&topo, &probs);
+        let set = enumerate_scenarios(
+            &units,
+            topo.num_links(),
+            &EnumOptions { prob_cutoff: 1e-4, max_scenarios: 30, coverage_target: 2.0 },
+        );
+        let inst = Instance::single_class(topo, 7, 0.6, Some(30));
+        (inst, set)
+    }
+
+    #[test]
+    fn skeleton_shapes() {
+        let (inst, set) = sprint_instance();
+        let alloc = ScenAlloc::new(&inst, &set.scenarios[0], Sense::Max);
+        assert_eq!(alloc.x.len(), 1);
+        assert_eq!(alloc.x[0].len(), inst.num_pairs());
+        // All-alive scenario: every pair alive.
+        assert!(alloc.pair_alive[0].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn dead_tunnels_are_fixed_to_zero() {
+        let (inst, set) = sprint_instance();
+        // Find a scenario with a failure.
+        let scen = set
+            .scenarios
+            .iter()
+            .find(|s| !s.failed_units.is_empty())
+            .expect("some failure scenario");
+        let alloc = ScenAlloc::new(&inst, scen, Sense::Max);
+        let mut saw_dead = false;
+        for p in 0..inst.num_pairs() {
+            for (t, &alive) in alloc.tunnel_alive[0][p].iter().enumerate() {
+                if !alive {
+                    saw_dead = true;
+                    let (lb, ub) = alloc.model.bounds(alloc.x[0][p][t]);
+                    assert_eq!((lb, ub), (0.0, 0.0));
+                }
+            }
+        }
+        assert!(saw_dead, "expected some dead tunnel in a failure scenario");
+    }
+
+    #[test]
+    fn capacity_rows_bind_throughput() {
+        let (inst, set) = sprint_instance();
+        let mut alloc = ScenAlloc::new(&inst, &set.scenarios[0], Sense::Max);
+        // Maximize total served, bounded by demand.
+        let mut total = Vec::new();
+        for p in 0..inst.num_pairs() {
+            let coeffs = alloc.served_coeffs(0, p);
+            alloc.model.add_row_le(&coeffs, inst.demands[0][p]);
+            total.extend(coeffs);
+        }
+        for (v, _) in &total {
+            alloc.model.set_obj(*v, 1.0);
+        }
+        let sol = alloc.model.solve().unwrap();
+        let served: f64 = (0..inst.num_pairs()).map(|p| alloc.served_at(&sol, 0, p)).sum();
+        let demand: f64 = inst.demands[0].iter().sum();
+        // MLU 0.6 => the intact network can serve everything.
+        assert!((served - demand).abs() / demand < 1e-6, "served {served} vs {demand}");
+    }
+}

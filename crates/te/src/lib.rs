@@ -1,0 +1,36 @@
+//! # flexile-te — baseline traffic-engineering schemes
+//!
+//! Every scheme the paper compares against, built on the `flexile-lp`
+//! simplex substrate. Each scheme's entry point performs the paper's
+//! *post-analysis*: determine the scheme's routing/bandwidth allocation for
+//! every failure scenario and return the full loss matrix
+//! `loss[flow][scenario]`, from which `flexile-metrics` computes PercLoss.
+//!
+//! * [`mcf`] — the per-scenario optimal max-concurrent-flow allocation:
+//!   `ScenBest(MLU)` = SMORE's failure response (§2), its
+//!   disconnected-flows-dropped variant (§6.2), and the two-class
+//!   lexicographic generalization `ScenBest-Multi` (§6.3).
+//! * [`swan`] — SWAN-Throughput and SWAN-Maxmin (§6): per-scenario
+//!   allocation with strict class priority; max-min approximated by
+//!   iterative water-filling with freeze detection.
+//! * [`teavar`] — Teavar's CVaR LP with a static per-pair tunnel split and
+//!   scenario-level (worst-flow) loss, solved with lazy rows.
+//! * [`cvar_flow`] — the paper's §5 generalizations: `Cvar-Flow-St`
+//!   (flow-level CVaR, static routing) and `Cvar-Flow-Ad` (flow-level CVaR,
+//!   adaptive per-scenario routing), both solved with lazy rows.
+//! * [`ffc`] — Forward Fault Correction (§2's congestion-free baseline
+//!   that Teavar extends): conservative admission protected against up to
+//!   `f` simultaneous failures.
+//! * [`alloc`] — shared per-scenario allocation-model scaffolding.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod cvar_flow;
+pub mod ffc;
+pub mod mcf;
+pub mod swan;
+pub mod teavar;
+pub mod types;
+
+pub use types::SchemeResult;

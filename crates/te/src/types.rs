@@ -1,0 +1,66 @@
+//! Common result types for TE schemes.
+
+/// Post-analysis output of a TE scheme over a scenario set: the loss of
+/// every flow in every scenario, `loss[flow][scenario]`, with flows indexed
+/// `class * num_pairs + pair` (see `flexile_traffic::Instance`).
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Scheme name for reporting.
+    pub name: String,
+    /// `loss[f][q] ∈ [0, 1]`.
+    pub loss: Vec<Vec<f64>>,
+}
+
+impl SchemeResult {
+    /// Build with shape checks.
+    pub fn new(name: &str, loss: Vec<Vec<f64>>) -> Self {
+        let cols = loss.first().map_or(0, |r| r.len());
+        assert!(loss.iter().all(|r| r.len() == cols), "ragged loss matrix");
+        for r in &loss {
+            for &v in r {
+                debug_assert!((-1e-6..=1.0 + 1e-6).contains(&v), "loss {v} out of range");
+            }
+        }
+        SchemeResult { name: name.to_string(), loss }
+    }
+
+    /// Number of flows.
+    pub fn num_flows(&self) -> usize {
+        self.loss.len()
+    }
+
+    /// Number of scenarios.
+    pub fn num_scenarios(&self) -> usize {
+        self.loss.first().map_or(0, |r| r.len())
+    }
+}
+
+/// Clamp a computed loss into `[0, 1]`, absorbing LP tolerance noise.
+pub fn clamp_loss(l: f64) -> f64 {
+    l.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_shape() {
+        let r = SchemeResult::new("x", vec![vec![0.0, 0.5], vec![1.0, 0.25]]);
+        assert_eq!(r.num_flows(), 2);
+        assert_eq!(r.num_scenarios(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rejected() {
+        SchemeResult::new("x", vec![vec![0.0], vec![0.0, 1.0]]);
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(clamp_loss(-1e-9), 0.0);
+        assert_eq!(clamp_loss(1.0 + 1e-9), 1.0);
+        assert_eq!(clamp_loss(0.4), 0.4);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based invariants across TE schemes on randomized topologies.
+
+use flexile_scenario::{enumerate_scenarios, model::link_units, EnumOptions, ScenarioSet};
+use flexile_te::{mcf, swan};
+use flexile_topo::{zoo, NodeId, TunnelClass, TunnelSet};
+use flexile_traffic::{ClassConfig, Instance};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random single-class instance on a cycle+chords topology.
+fn random_instance(nodes: usize, extra: usize, seed: u64) -> (Instance, ScenarioSet) {
+    let max_extra = nodes * (nodes - 1) / 2 - nodes;
+    let topo = zoo::generate("prop", nodes, nodes + extra.min(max_extra), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+    // A handful of random pairs with random demands relative to capacity.
+    let mut pairs = Vec::new();
+    let mut demands = Vec::new();
+    for _ in 0..5 {
+        let s = rng.random_range(0..nodes) as u32;
+        let mut d = rng.random_range(0..nodes) as u32;
+        if s == d {
+            d = (d + 1) % nodes as u32;
+        }
+        pairs.push((NodeId(s), NodeId(d)));
+        demands.push(rng.random_range(100.0..900.0));
+    }
+    let tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+    let probs: Vec<f64> = (0..topo.num_links()).map(|_| rng.random_range(0.001..0.02)).collect();
+    let units = link_units(&topo, &probs);
+    let nl = topo.num_links();
+    let inst = Instance {
+        topo,
+        pairs,
+        classes: vec![ClassConfig::single()],
+        tunnels: vec![tunnels],
+        demands: vec![demands],
+    };
+    let set = enumerate_scenarios(
+        &units,
+        nl,
+        &EnumOptions { prob_cutoff: 1e-5, max_scenarios: 10, coverage_target: 1.1 },
+    );
+    (inst, set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ScenBest's worst connected-flow loss is a lower bound for every
+    /// other scheme in the same scenario (it is the per-scenario optimum).
+    #[test]
+    fn scen_best_is_per_scenario_optimal(
+        nodes in 5usize..9,
+        extra in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        let (inst, set) = random_instance(nodes, extra, seed);
+        for scen in set.scenarios.iter().take(4) {
+            let best = mcf::scen_best_scenario(&inst, scen, true);
+            let maxmin = swan::swan_maxmin_scenario(&inst, scen);
+            let dead = scen.dead_mask();
+            let worst_best = (0..inst.num_pairs())
+                .filter(|&p| inst.tunnels[0].pair_alive(p, &dead))
+                .map(|p| best[p])
+                .fold(0.0f64, f64::max);
+            let worst_maxmin = (0..inst.num_pairs())
+                .filter(|&p| inst.tunnels[0].pair_alive(p, &dead))
+                .map(|p| maxmin[p])
+                .fold(0.0f64, f64::max);
+            prop_assert!(
+                worst_best <= worst_maxmin + 1e-5,
+                "ScenBest {worst_best} beaten by SWAN-Maxmin {worst_maxmin}"
+            );
+        }
+    }
+
+    /// SWAN-Throughput serves at least as much total demand as SWAN-Maxmin
+    /// (fairness costs throughput, never gains it).
+    #[test]
+    fn throughput_dominates_maxmin_in_volume(
+        nodes in 5usize..9,
+        extra in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        let (inst, set) = random_instance(nodes, extra, seed);
+        let scen = &set.scenarios[0];
+        let thr = swan::swan_throughput_scenario(&inst, scen);
+        let mm = swan::swan_maxmin_scenario(&inst, scen);
+        let served = |losses: &[f64]| -> f64 {
+            (0..inst.num_pairs())
+                .map(|p| (1.0 - losses[p]) * inst.demands[0][p])
+                .sum()
+        };
+        prop_assert!(
+            served(&thr) + 1e-4 >= served(&mm),
+            "throughput {} < maxmin {}",
+            served(&thr),
+            served(&mm)
+        );
+    }
+
+    /// All schemes produce losses in [0,1] with 0 for zero-demand flows.
+    #[test]
+    fn losses_are_well_formed(
+        nodes in 5usize..8,
+        extra in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let (inst, set) = random_instance(nodes, extra, seed);
+        for r in [
+            mcf::smore(&inst, &set),
+            swan::swan_maxmin(&inst, &set),
+            swan::swan_throughput(&inst, &set),
+        ] {
+            for row in &r.loss {
+                for &l in row {
+                    prop_assert!((0.0..=1.0).contains(&l), "{}: loss {l}", r.name);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text topology import/export.
+//!
+//! A minimal, diff-friendly format so users can bring their own WANs
+//! (e.g. converted from Topology Zoo `.gml`) instead of the generated
+//! Table-2 networks:
+//!
+//! ```text
+//! # comment
+//! topology MyWan
+//! nodes 4
+//! link 0 1 1000        # a b capacity
+//! link 1 2 1000
+//! link 2 3 2500
+//! link 3 0 1000
+//! ```
+//!
+//! Node ids are dense integers `0..nodes`. Capacity is per direction.
+
+use crate::graph::Topology;
+use std::fmt;
+
+/// Errors from parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line could not be interpreted.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        msg: String,
+    },
+    /// Required header fields missing.
+    MissingHeader(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadLine { line, msg } => write!(f, "line {line}: {msg}"),
+            ParseError::MissingHeader(h) => write!(f, "missing '{h}' header"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a topology from the text format.
+pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
+    let mut name: Option<String> = None;
+    let mut nodes: Option<usize> = None;
+    let mut links: Vec<(u32, u32, f64)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = |msg: &str| ParseError::BadLine { line: line_no, msg: msg.to_string() };
+        match parts.next() {
+            Some("topology") => {
+                name = Some(
+                    parts
+                        .next()
+                        .ok_or_else(|| bad("topology needs a name"))?
+                        .to_string(),
+                );
+            }
+            Some("nodes") => {
+                nodes = Some(
+                    parts
+                        .next()
+                        .ok_or_else(|| bad("nodes needs a count"))?
+                        .parse()
+                        .map_err(|_| bad("nodes count must be an integer"))?,
+                );
+            }
+            Some("link") => {
+                let a: u32 = parts
+                    .next()
+                    .ok_or_else(|| bad("link needs two endpoints"))?
+                    .parse()
+                    .map_err(|_| bad("endpoint must be an integer"))?;
+                let b: u32 = parts
+                    .next()
+                    .ok_or_else(|| bad("link needs two endpoints"))?
+                    .parse()
+                    .map_err(|_| bad("endpoint must be an integer"))?;
+                let cap: f64 = match parts.next() {
+                    Some(c) => c.parse().map_err(|_| bad("capacity must be a number"))?,
+                    None => crate::zoo::DEFAULT_CAPACITY,
+                };
+                if a == b {
+                    return Err(bad("self-loop links are not allowed"));
+                }
+                if cap <= 0.0 {
+                    return Err(bad("capacity must be positive"));
+                }
+                links.push((a, b, cap));
+            }
+            Some(other) => {
+                return Err(bad(&format!("unknown directive '{other}'")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    let nodes = nodes.ok_or(ParseError::MissingHeader("nodes"))?;
+    let name = name.unwrap_or_else(|| "unnamed".to_string());
+    for (i, &(a, b, _)) in links.iter().enumerate() {
+        if a as usize >= nodes || b as usize >= nodes {
+            return Err(ParseError::BadLine {
+                line: i + 1,
+                msg: format!("link {a}-{b} references a node >= {nodes}"),
+            });
+        }
+    }
+    Ok(Topology::new(&name, nodes, &links))
+}
+
+/// Serialize a topology to the text format (round-trips with
+/// [`parse_topology`]).
+pub fn format_topology(topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("topology {}\n", topo.name));
+    out.push_str(&format!("nodes {}\n", topo.num_nodes()));
+    for (_, l) in topo.links() {
+        out.push_str(&format!("link {} {} {}\n", l.a.0, l.b.0, l.capacity));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let t = parse_topology(
+            "# demo\ntopology demo\nnodes 3\nlink 0 1 100\nlink 1 2 200\nlink 2 0 100\n",
+        )
+        .unwrap();
+        assert_eq!(t.name, "demo");
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_links(), 3);
+        assert_eq!(t.link(crate::LinkId(1)).capacity, 200.0);
+    }
+
+    #[test]
+    fn default_capacity_applies() {
+        let t = parse_topology("nodes 2\nlink 0 1\n").unwrap();
+        assert_eq!(t.link(crate::LinkId(0)).capacity, crate::zoo::DEFAULT_CAPACITY);
+        assert_eq!(t.name, "unnamed");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let orig = crate::topology_by_name("Sprint").unwrap();
+        let text = format_topology(&orig);
+        let back = parse_topology(&text).unwrap();
+        assert_eq!(back.num_nodes(), orig.num_nodes());
+        assert_eq!(back.num_links(), orig.num_links());
+        for (id, l) in orig.links() {
+            let b = back.link(id);
+            assert_eq!((b.a, b.b), (l.a, l.b));
+            assert_eq!(b.capacity, l.capacity);
+        }
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse_topology("nodes 2\nlink 0 0\n").unwrap_err();
+        assert!(matches!(e, ParseError::BadLine { line: 2, .. }), "{e}");
+        let e = parse_topology("link 0 1\n").unwrap_err();
+        assert!(matches!(e, ParseError::BadLine { .. }) || matches!(e, ParseError::MissingHeader(_)));
+        let e = parse_topology("nodes 2\nlink 0 5\n").unwrap_err();
+        assert!(matches!(e, ParseError::BadLine { .. }));
+        let e = parse_topology("nodes 2\nfrob 1\n").unwrap_err();
+        assert!(e.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn negative_capacity_rejected() {
+        assert!(parse_topology("nodes 2\nlink 0 1 -5\n").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # flexile-topo — WAN topologies, paths and tunnels
+//!
+//! The topology substrate for the Flexile reproduction:
+//!
+//! * [`graph`] — an undirected multigraph of *links* (full-duplex: each link
+//!   carries `capacity` units independently in each direction, and fails as a
+//!   unit), with BFS connectivity and recursive degree-1 pruning exactly as
+//!   the paper's preprocessing requires.
+//! * [`zoo`] — the 20 evaluation topologies of Table 2. The Topology Zoo
+//!   `.gml` sources are not redistributable/offline, so each network is
+//!   regenerated deterministically with the *exact* node and edge counts of
+//!   Table 2 as a Hamiltonian cycle plus seeded random chords. A cycle is
+//!   2-edge-connected, so every generated network survives any single link
+//!   failure — the invariant the paper establishes by pruning one-degree
+//!   nodes.
+//! * [`paths`] — deterministic Dijkstra and Yen's k-shortest paths.
+//! * [`tunnels`] — the paper's three tunnel-selection policies (§6):
+//!   single-class (3 max-disjoint short paths), high-priority (3 shortest
+//!   collectively single-failure-survivable) and low-priority (the high-
+//!   priority set plus 3 disjointness-preferring extras).
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod io;
+pub mod paths;
+pub mod tunnels;
+pub mod zoo;
+
+pub use graph::{LinkId, NodeId, Path, Topology};
+pub use io::{format_topology, parse_topology};
+pub use tunnels::{Tunnel, TunnelClass, TunnelSet};
+pub use zoo::{all_topologies, topology_by_name, ZooEntry, TABLE2};

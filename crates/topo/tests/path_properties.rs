@@ -1,0 +1,111 @@
+//! Property-based tests for path and tunnel machinery on randomized
+//! cycle-plus-chords topologies (the same family the zoo generator uses).
+
+use flexile_topo::graph::Topology;
+use flexile_topo::paths::{k_shortest_paths, shortest_path};
+use flexile_topo::tunnels::select_tunnels;
+use flexile_topo::{zoo, NodeId, TunnelClass};
+use proptest::prelude::*;
+
+fn random_topo(nodes: usize, extra: usize, seed: u64) -> Topology {
+    // Clamp the chord count to the simple-graph limit.
+    let max_extra = nodes * (nodes - 1) / 2 - nodes;
+    zoo::generate("prop", nodes, nodes + extra.min(max_extra), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dijkstra's result is a valid, minimal-hop walk.
+    #[test]
+    fn dijkstra_is_shortest(
+        nodes in 4usize..12,
+        extra in 0usize..6,
+        seed in 0u64..500,
+    ) {
+        let t = random_topo(nodes, extra, seed);
+        let (s, d) = (NodeId(0), NodeId((nodes / 2) as u32));
+        let p = shortest_path(&t, s, d, &vec![false; t.num_links()], &vec![false; t.num_nodes()])
+            .expect("cycle topologies are connected");
+        // Valid walk endpoints.
+        prop_assert_eq!(p.nodes[0], s);
+        prop_assert_eq!(*p.nodes.last().unwrap(), d);
+        // BFS distance equals hop count (weights are ~1 per hop).
+        let mut dist = vec![usize::MAX; t.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[s.index()] = 0;
+        queue.push_back(s);
+        while let Some(n) = queue.pop_front() {
+            for &(nb, _) in t.neighbors(n) {
+                if dist[nb.index()] == usize::MAX {
+                    dist[nb.index()] = dist[n.index()] + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        prop_assert_eq!(p.len(), dist[d.index()]);
+    }
+
+    /// Yen's paths are distinct, loopless, and sorted by length.
+    #[test]
+    fn yen_paths_distinct_loopless_sorted(
+        nodes in 4usize..10,
+        extra in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let t = random_topo(nodes, extra, seed);
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId((nodes - 1) as u32), 6);
+        prop_assert!(!ps.is_empty());
+        for w in ps.windows(2) {
+            prop_assert!(w[0].len() <= w[1].len());
+            prop_assert!(w[0] != w[1], "duplicate path");
+        }
+        for p in &ps {
+            let mut seen = std::collections::HashSet::new();
+            prop_assert!(p.nodes.iter().all(|n| seen.insert(*n)), "loop in path");
+        }
+    }
+
+    /// Every tunnel-selection policy returns valid walks between the
+    /// requested endpoints, and the low-priority set extends high-priority.
+    #[test]
+    fn tunnel_policies_return_valid_walks(
+        nodes in 4usize..10,
+        extra in 1usize..6,
+        seed in 0u64..300,
+    ) {
+        let t = random_topo(nodes, extra, seed);
+        let (s, d) = (NodeId(1), NodeId((nodes - 1) as u32));
+        for class in [TunnelClass::SingleClass, TunnelClass::HighPriority, TunnelClass::LowPriority] {
+            let ts = select_tunnels(&t, s, d, class);
+            prop_assert!(!ts.is_empty());
+            for p in &ts {
+                prop_assert_eq!(p.nodes[0], s);
+                prop_assert_eq!(*p.nodes.last().unwrap(), d);
+                for (i, &l) in p.links.iter().enumerate() {
+                    let link = t.link(l);
+                    let (a, b) = (p.nodes[i], p.nodes[i + 1]);
+                    prop_assert!(
+                        (link.a == a && link.b == b) || (link.a == b && link.b == a)
+                    );
+                }
+            }
+        }
+        let hi = select_tunnels(&t, s, d, TunnelClass::HighPriority);
+        let lo = select_tunnels(&t, s, d, TunnelClass::LowPriority);
+        for h in &hi {
+            prop_assert!(lo.contains(h));
+        }
+    }
+
+    /// The generated family survives any single failure (zoo invariant).
+    #[test]
+    fn generated_topologies_survive_single_failures(
+        nodes in 4usize..12,
+        extra in 0usize..5,
+        seed in 0u64..200,
+    ) {
+        let t = random_topo(nodes, extra, seed);
+        prop_assert!(t.survives_any_single_failure());
+    }
+}

@@ -1,0 +1,98 @@
+//! Traffic-class configuration and the two-class demand split.
+
+use flexile_topo::TunnelClass;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one traffic class (`k ∈ K`).
+#[derive(Debug, Clone)]
+pub struct ClassConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Percentile target β_k (e.g. 0.999 for interactive traffic). A value
+    /// of 0 means "fill in from the scenario set" via
+    /// `ScenarioSet::max_feasible_beta`.
+    pub beta: f64,
+    /// Penalty weight w_k in the Σ w_k α_k objective.
+    pub weight: f64,
+    /// Tunnel-selection policy for the class.
+    pub tunnel_class: TunnelClass,
+}
+
+impl ClassConfig {
+    /// The single-class experiment configuration.
+    pub fn single() -> Self {
+        ClassConfig {
+            name: "single".into(),
+            beta: 0.0,
+            weight: 1.0,
+            tunnel_class: TunnelClass::SingleClass,
+        }
+    }
+
+    /// Latency-sensitive interactive traffic (99.9% target by default).
+    pub fn interactive() -> Self {
+        ClassConfig {
+            name: "interactive".into(),
+            beta: 0.0, // filled from max_feasible_beta, like the paper
+            weight: crate::instance::INTERACTIVE_WEIGHT,
+            tunnel_class: TunnelClass::HighPriority,
+        }
+    }
+
+    /// Elastic background traffic (99% target, §6).
+    pub fn elastic() -> Self {
+        ClassConfig {
+            name: "elastic".into(),
+            beta: 0.99,
+            weight: crate::instance::ELASTIC_WEIGHT,
+            tunnel_class: TunnelClass::LowPriority,
+        }
+    }
+}
+
+/// Randomly split each pair's demand into (high, low) with a uniform high
+/// share in `[0.25, 0.75]`, then scale the low-priority part by 2× (§6:
+/// "the traffic of each pair was randomly split into high and low priority.
+/// We then scaled low priority traffic by a factor of 2").
+pub fn two_class_split(base: &[f64], seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut high = Vec::with_capacity(base.len());
+    let mut low = Vec::with_capacity(base.len());
+    for &d in base {
+        let share: f64 = rng.random_range(0.25..0.75);
+        high.push(d * share);
+        low.push(d * (1.0 - share) * 2.0);
+    }
+    (high, low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_conserves_and_scales() {
+        let base = vec![1.0, 2.0, 4.0];
+        let (hi, lo) = two_class_split(&base, 1);
+        for i in 0..3 {
+            // hi + lo/2 reassembles the base demand.
+            assert!((hi[i] + lo[i] / 2.0 - base[i]).abs() < 1e-12);
+            assert!(hi[i] >= 0.25 * base[i] - 1e-12);
+            assert!(hi[i] <= 0.75 * base[i] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let base = vec![1.0; 8];
+        assert_eq!(two_class_split(&base, 3), two_class_split(&base, 3));
+    }
+
+    #[test]
+    fn class_configs() {
+        assert_eq!(ClassConfig::interactive().tunnel_class, TunnelClass::HighPriority);
+        assert_eq!(ClassConfig::elastic().beta, 0.99);
+        assert!(ClassConfig::interactive().weight > ClassConfig::elastic().weight);
+    }
+}

@@ -1,0 +1,74 @@
+//! Gravity-model traffic matrices (§6, citing Zhang et al.).
+//!
+//! Each node gets a seeded random mass; the demand of ordered pair `(s, d)`
+//! is proportional to `mass[s] · mass[d]`. The matrix is returned
+//! unnormalized (relative volumes only) — callers scale it against link
+//! capacities with [`crate::mlu::scale_to_mlu`].
+
+use flexile_topo::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate gravity-model demands for the given ordered pairs.
+///
+/// Node masses are `exp(U)` with `U` uniform on `[0, 1.5]`, giving mild
+/// skew: a few "large sites" dominate, as in measured WAN matrices.
+pub fn gravity_matrix(
+    topo: &Topology,
+    pairs: &[(NodeId, NodeId)],
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let masses: Vec<f64> = (0..topo.num_nodes())
+        .map(|_| (rng.random_range(0.0..1.5f64)).exp())
+        .collect();
+    let total: f64 = pairs
+        .iter()
+        .map(|&(s, d)| masses[s.index()] * masses[d.index()])
+        .sum();
+    pairs
+        .iter()
+        .map(|&(s, d)| masses[s.index()] * masses[d.index()] / total)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexile_topo::Topology;
+
+    #[test]
+    fn gravity_sums_to_one() {
+        let t = Topology::new("t", 4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let pairs = t.ordered_pairs();
+        let d = gravity_matrix(&t, &pairs, 1);
+        assert_eq!(d.len(), 12);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(d.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn gravity_is_deterministic() {
+        let t = Topology::new("t", 4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let pairs = t.ordered_pairs();
+        assert_eq!(gravity_matrix(&t, &pairs, 5), gravity_matrix(&t, &pairs, 5));
+    }
+
+    #[test]
+    fn gravity_is_rank_one() {
+        // d(s,a)/d(s,b) must be the same for every source s.
+        let t = Topology::new("t", 4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let pairs = t.ordered_pairs();
+        let d = gravity_matrix(&t, &pairs, 3);
+        let find = |s: u32, t_: u32| {
+            pairs
+                .iter()
+                .position(|&(a, b)| a.0 == s && b.0 == t_)
+                .map(|i| d[i])
+                .unwrap()
+        };
+        let r0 = find(0, 2) / find(0, 3);
+        let r1 = find(1, 2) / find(1, 3);
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+}

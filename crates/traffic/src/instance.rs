@@ -1,0 +1,238 @@
+//! The fully materialized problem instance shared by all TE schemes.
+
+use crate::classes::{two_class_split, ClassConfig};
+use crate::gravity::gravity_matrix;
+use crate::mlu::scale_to_mlu;
+use flexile_topo::graph::Path;
+use flexile_topo::{NodeId, Topology, TunnelClass, TunnelSet};
+
+/// Penalty weight used for the interactive (high-priority) class in
+/// two-class experiments (§4.1: "a large weight for the higher priority
+/// class, and a small weight for the lower priority class").
+pub const INTERACTIVE_WEIGHT: f64 = 10.0;
+/// Penalty weight for the elastic (low-priority) class.
+pub const ELASTIC_WEIGHT: f64 = 1.0;
+
+/// A complete TE problem instance: topology, ordered pairs, traffic classes
+/// with their tunnels, and per-class demands.
+///
+/// Flows are indexed `f = class * num_pairs + pair`, matching the paper's
+/// "flow = (pair, class)" convention.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The network.
+    pub topo: Topology,
+    /// Ordered source-destination pairs (`P` in the paper).
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Traffic classes (`K`), highest priority first.
+    pub classes: Vec<ClassConfig>,
+    /// Per-class tunnel sets over the same `pairs` (`R_k(i)`).
+    pub tunnels: Vec<TunnelSet>,
+    /// Per-class, per-pair demand (`d_f`).
+    pub demands: Vec<Vec<f64>>,
+}
+
+impl Instance {
+    /// Number of pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of traffic classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total flows (`K · P`).
+    pub fn num_flows(&self) -> usize {
+        self.num_classes() * self.num_pairs()
+    }
+
+    /// Global flow index of `(class, pair)`.
+    pub fn flow_index(&self, class: usize, pair: usize) -> usize {
+        class * self.num_pairs() + pair
+    }
+
+    /// Class of a global flow index.
+    pub fn flow_class(&self, flow: usize) -> usize {
+        flow / self.num_pairs()
+    }
+
+    /// Pair of a global flow index.
+    pub fn flow_pair(&self, flow: usize) -> usize {
+        flow % self.num_pairs()
+    }
+
+    /// Demand of a global flow.
+    pub fn flow_demand(&self, flow: usize) -> f64 {
+        self.demands[self.flow_class(flow)][self.flow_pair(flow)]
+    }
+
+    /// Flow indices belonging to a class.
+    pub fn class_flows(&self, class: usize) -> Vec<usize> {
+        (0..self.num_pairs()).map(|p| self.flow_index(class, p)).collect()
+    }
+
+    /// Number of directed arcs (2 per link).
+    pub fn num_arcs(&self) -> usize {
+        2 * self.topo.num_links()
+    }
+
+    /// Directed-arc ids traversed by a path. Link `l` traversed `a→b` is
+    /// arc `2l`, the reverse is `2l + 1`.
+    pub fn arc_ids(&self, path: &Path) -> Vec<usize> {
+        path.links
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                let link = self.topo.link(l);
+                let from = path.nodes[i];
+                if link.a == from {
+                    2 * l.index()
+                } else {
+                    2 * l.index() + 1
+                }
+            })
+            .collect()
+    }
+
+    /// Capacity of a directed arc.
+    pub fn arc_capacity(&self, arc: usize) -> f64 {
+        self.topo.link(flexile_topo::LinkId((arc / 2) as u32)).capacity
+    }
+
+    /// Link index of a directed arc.
+    pub fn arc_link(&self, arc: usize) -> usize {
+        arc / 2
+    }
+
+    /// Build a single-class instance on `topo`: gravity TM scaled to
+    /// `target_mlu`, single-class tunnels, β filled in later by the caller
+    /// (0.0 placeholder). `max_pairs` keeps only the top-demand ordered
+    /// pairs — the documented substitution for large topologies where the
+    /// full `N(N-1)` pair set would overwhelm the from-scratch simplex.
+    pub fn single_class(topo: Topology, seed: u64, target_mlu: f64, max_pairs: Option<usize>) -> Instance {
+        let (pairs, base) = build_pairs(&topo, seed, max_pairs);
+        let tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+        let demands = scale_to_mlu(&topo, &tunnels, &base, target_mlu);
+        Instance {
+            topo,
+            pairs,
+            classes: vec![ClassConfig::single()],
+            tunnels: vec![tunnels],
+            demands: vec![demands],
+        }
+    }
+
+    /// Build a two-class instance (interactive + elastic): base gravity TM
+    /// scaled to `target_mlu`, randomly split per pair, elastic share scaled
+    /// by 2× (§6).
+    pub fn two_class(topo: Topology, seed: u64, target_mlu: f64, max_pairs: Option<usize>) -> Instance {
+        let (pairs, base) = build_pairs(&topo, seed, max_pairs);
+        let scale_tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+        let scaled = scale_to_mlu(&topo, &scale_tunnels, &base, target_mlu);
+        let (high, low) = two_class_split(&scaled, seed ^ 0x9e37_79b9_7f4a_7c15);
+        let hi_tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::HighPriority);
+        let lo_tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::LowPriority);
+        Instance {
+            topo,
+            pairs,
+            classes: vec![ClassConfig::interactive(), ClassConfig::elastic()],
+            tunnels: vec![hi_tunnels, lo_tunnels],
+            demands: vec![high, low],
+        }
+    }
+
+    /// Scale the demands of one class by `factor` (used by the Fig. 18
+    /// max-scale sweep).
+    pub fn scale_class_demands(&mut self, class: usize, factor: f64) {
+        for d in &mut self.demands[class] {
+            *d *= factor;
+        }
+    }
+}
+
+/// Generate ordered pairs + unnormalized gravity demands, optionally keeping
+/// only the `max_pairs` largest-demand pairs.
+fn build_pairs(
+    topo: &Topology,
+    seed: u64,
+    max_pairs: Option<usize>,
+) -> (Vec<(NodeId, NodeId)>, Vec<f64>) {
+    let all = topo.ordered_pairs();
+    let demands = gravity_matrix(topo, &all, seed);
+    match max_pairs {
+        Some(cap) if cap < all.len() => {
+            let mut idx: Vec<usize> = (0..all.len()).collect();
+            idx.sort_by(|&a, &b| demands[b].partial_cmp(&demands[a]).unwrap());
+            idx.truncate(cap);
+            idx.sort_unstable(); // keep a stable pair order
+            (
+                idx.iter().map(|&i| all[i]).collect(),
+                idx.iter().map(|&i| demands[i]).collect(),
+            )
+        }
+        _ => (all, demands),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexile_topo::topology_by_name;
+
+    #[test]
+    fn flow_indexing_roundtrip() {
+        let topo = topology_by_name("Sprint").unwrap();
+        let inst = Instance::two_class(topo, 7, 0.6, None);
+        assert_eq!(inst.num_pairs(), 90);
+        assert_eq!(inst.num_flows(), 180);
+        for k in 0..2 {
+            for p in 0..inst.num_pairs() {
+                let f = inst.flow_index(k, p);
+                assert_eq!(inst.flow_class(f), k);
+                assert_eq!(inst.flow_pair(f), p);
+            }
+        }
+    }
+
+    #[test]
+    fn arc_ids_direction() {
+        let topo = topology_by_name("Sprint").unwrap();
+        let inst = Instance::single_class(topo, 7, 0.6, None);
+        for (p, ts) in inst.tunnels[0].tunnels.iter().enumerate() {
+            for t in ts {
+                let arcs = inst.arc_ids(t);
+                assert_eq!(arcs.len(), t.links.len());
+                // Arc/link correspondence.
+                for (a, l) in arcs.iter().zip(t.links.iter()) {
+                    assert_eq!(a / 2, l.index());
+                }
+            }
+            let _ = p;
+        }
+    }
+
+    #[test]
+    fn max_pairs_keeps_top_demands() {
+        let topo = topology_by_name("IBM").unwrap();
+        let full = Instance::single_class(topo.clone(), 7, 0.6, None);
+        let capped = Instance::single_class(topo, 7, 0.6, Some(40));
+        assert_eq!(capped.num_pairs(), 40);
+        // Every kept pair must appear in the full instance.
+        for p in &capped.pairs {
+            assert!(full.pairs.contains(p));
+        }
+    }
+
+    #[test]
+    fn two_class_low_priority_is_scaled() {
+        let topo = topology_by_name("Sprint").unwrap();
+        let inst = Instance::two_class(topo, 7, 0.6, None);
+        let hi: f64 = inst.demands[0].iter().sum();
+        let lo: f64 = inst.demands[1].iter().sum();
+        // low = 2 × (1 - u) share with u ∈ [0.25, 0.75]: in aggregate low
+        // exceeds high.
+        assert!(lo > hi, "lo {lo} hi {hi}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # flexile-traffic — traffic matrices and problem instances
+//!
+//! Workload generation per §6 of the paper:
+//!
+//! * [`gravity`] — gravity-model traffic matrices from seeded node masses.
+//! * [`mlu`] — the min-MLU routing LP used to scale a traffic matrix so the
+//!   most congested link sits at a target utilization (the paper uses
+//!   MLU ∈ [0.5, 0.7] on the intact network).
+//! * [`classes`] — traffic-class configuration: β targets, penalty weights
+//!   and tunnel policies; the two-class experiments randomly split each
+//!   pair's demand and scale the low-priority share by 2×.
+//! * [`instance`] — [`Instance`]: the fully materialized problem (topology,
+//!   pairs, classes, tunnels, demands) consumed by every TE scheme and by
+//!   Flexile itself, with the flow indexing convention
+//!   `flow = class * num_pairs + pair`.
+
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod gravity;
+pub mod instance;
+pub mod mlu;
+
+pub use classes::{two_class_split, ClassConfig};
+pub use gravity::gravity_matrix;
+pub use instance::{Instance, INTERACTIVE_WEIGHT, ELASTIC_WEIGHT};
+pub use mlu::{min_mlu, scale_to_mlu};

@@ -1,0 +1,71 @@
+//! Capacity planning with percentile objectives (§4.4 / appendix D): find
+//! the cheapest link upgrades that let the network meet a PercLoss target,
+//! and contrast Flexile's answer with what a scenario-centric design would
+//! need. On the Fig. 1 triangle, ScenBest/Teavar must double every link
+//! while Flexile needs nothing.
+//!
+//! ```sh
+//! cargo run --example capacity_planning
+//! ```
+
+use flexile::core::capacity::{augment_capacity, AugmentCost};
+use flexile::prelude::*;
+use flexile::scenario::model::link_units;
+use std::time::Duration;
+
+fn triangle(beta: f64) -> (Instance, ScenarioSet) {
+    let topo = Topology::new("fig1", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+    let pairs = vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))];
+    let tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+    let mut class = ClassConfig::single();
+    class.beta = beta;
+    let inst = Instance {
+        topo,
+        pairs,
+        classes: vec![class],
+        tunnels: vec![tunnels],
+        demands: vec![vec![1.0, 1.0]],
+    };
+    let units = link_units(&inst.topo, &[0.01; 3]);
+    let set = enumerate_scenarios(
+        &units,
+        3,
+        &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+    );
+    (inst, set)
+}
+
+fn main() {
+    for beta in [0.99, 0.995] {
+        let (inst, set) = triangle(beta);
+        println!("== target: zero loss at β = {beta} ==");
+        match augment_capacity(
+            &inst,
+            &set,
+            &[0.0],
+            &AugmentCost::uniform(inst.topo.num_links()),
+            Duration::from_secs(60),
+        ) {
+            Some(r) => {
+                println!("  minimum augmentation cost: {:.3}", r.cost);
+                for (l, d) in r.delta.iter().enumerate() {
+                    if *d > 1e-6 {
+                        let link = inst.topo.link(LinkId(l as u32));
+                        println!(
+                            "  link {:?}-{:?}: +{:.2} capacity",
+                            link.a, link.b, d
+                        );
+                    }
+                }
+                if r.cost < 1e-6 {
+                    println!("  (no upgrades needed: criticality flexibility suffices)");
+                }
+            }
+            None => println!("  infeasible at any augmentation (coverage impossible)"),
+        }
+    }
+    println!(
+        "\nFor comparison, a scenario-centric design (ScenBest/Teavar) needs every\n\
+         link doubled to reach zero PercLoss at 99% on this triangle (§3)."
+    );
+}

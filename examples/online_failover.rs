@@ -1,0 +1,57 @@
+//! Online failure reaction: design offline once, then walk through failure
+//! events as they would hit the controller, showing which flows are
+//! critical in each observed state and what loss every flow ends up with —
+//! the §4.3 control loop.
+//!
+//! ```sh
+//! cargo run --example online_failover
+//! ```
+
+use flexile::prelude::*;
+use flexile::scenario::model::link_units;
+use std::time::Instant;
+
+fn main() {
+    let topo = topology_by_name("Sprint").expect("Sprint is in Table 2");
+    let probs = link_failure_probs(topo.num_links(), 0.8, 0.001, 11);
+    let units = link_units(&topo, &probs);
+    let set = enumerate_scenarios(
+        &units,
+        topo.num_links(),
+        &EnumOptions { prob_cutoff: 1e-6, max_scenarios: 40, coverage_target: 0.9999999 },
+    );
+    let inst = Instance::single_class(topo, 11, 0.6, None);
+
+    // Offline: every 5-10 minutes in production (predicted TM + failure
+    // probabilities); here, once.
+    let t0 = Instant::now();
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    println!(
+        "offline phase: {:.2}s, penalty {:.4}, β = {:.5}",
+        t0.elapsed().as_secs_f64(),
+        design.penalty,
+        design.betas[0]
+    );
+
+    // Online: a failure is observed; look up criticality, solve one LP.
+    for (q, scen) in set.scenarios.iter().enumerate().take(6) {
+        let critical: Vec<bool> = (0..inst.num_flows()).map(|f| design.critical[f][q]).collect();
+        let promised: Vec<f64> =
+            (0..inst.num_flows()).map(|f| design.offline_loss[f][q]).collect();
+        let n_crit = critical.iter().filter(|&&c| c).count();
+        let t1 = Instant::now();
+        let losses = online_allocate(&inst, scen, &critical, &promised);
+        let worst = losses.iter().cloned().fold(0.0, f64::max);
+        let mean = losses.iter().sum::<f64>() / losses.len() as f64;
+        println!(
+            "scenario {q:>2} (failed units {:?}, p = {:.5}): {} critical flows, \
+             reaction {:>6.1} ms, worst loss {:.2}%, mean loss {:.3}%",
+            scen.failed_units,
+            scen.prob,
+            n_crit,
+            t1.elapsed().as_secs_f64() * 1e3,
+            100.0 * worst,
+            100.0 * mean,
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Two-class WAN design on the IBM topology: interactive (99.9%-style
+//! target) and elastic (99%) traffic, comparing Flexile with both SWAN
+//! variants — the workload of the paper's §6.2 / Fig. 10.
+//!
+//! ```sh
+//! cargo run --example two_class_wan
+//! ```
+
+use flexile::prelude::*;
+use flexile::scenario::model::link_units;
+
+fn main() {
+    let topo = topology_by_name("IBM").expect("IBM is in Table 2");
+    println!("topology: {} ({} nodes, {} links)", topo.name, topo.num_nodes(), topo.num_links());
+
+    // Weibull failure probabilities with a ~0.1% median, like the paper.
+    let probs = link_failure_probs(topo.num_links(), 0.8, 0.001, 42);
+    let units = link_units(&topo, &probs);
+    let set = enumerate_scenarios(
+        &units,
+        topo.num_links(),
+        &EnumOptions { prob_cutoff: 1e-6, max_scenarios: 60, coverage_target: 0.9999999 },
+    );
+    println!(
+        "designing against {} scenarios ({:.5}% coverage)",
+        set.scenarios.len(),
+        100.0 * set.covered_prob()
+    );
+
+    // Gravity traffic at MLU 0.6, split into interactive + 2× elastic.
+    // 40 top-demand pairs keep this example fast; drop the cap for scale.
+    let inst = Instance::two_class(topo, 42, 0.6, Some(40));
+    let betas = effective_betas(&inst, &set);
+    println!(
+        "targets: {} β = {:.5}, {} β = {:.3}",
+        inst.classes[0].name, betas[0], inst.classes[1].name, betas[1]
+    );
+
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    let results = vec![
+        flexile_losses(&inst, &set, &design),
+        flexile::te::swan::swan_maxmin(&inst, &set),
+        flexile::te::swan::swan_throughput(&inst, &set),
+    ];
+    println!("\n{:<18} {:>14} {:>14}", "scheme", "hi PercLoss", "lo PercLoss");
+    for r in &results {
+        let m = LossMatrix::new(r.loss.clone(), set.probs(), set.residual);
+        let hi = perc_loss(&m, &inst.class_flows(0), betas[0]);
+        let lo = perc_loss(&m, &inst.class_flows(1), betas[1]);
+        println!("{:<18} {:>13.2}% {:>13.2}%", r.name, 100.0 * hi, 100.0 * lo);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-validation tests for the paper's appendix-A equivalences and the
+//! §4.1 SRLG failure model, exercised through the facade.
+
+use flexile::prelude::*;
+use flexile::scenario::model::link_units;
+
+/// Appendix A: minimizing ScenLoss ≡ minimizing MLU ≡ maximizing the
+/// concurrent scale: `ScenLoss = max(0, 1 − 1/MLU)`.
+#[test]
+fn scenloss_equals_one_minus_inverse_mlu() {
+    let topo = topology_by_name("Sprint").unwrap();
+    // Overload the network: scale demand to MLU 1.5 so losses appear.
+    let inst = Instance::single_class(topo, 3, 1.5, Some(20));
+    let mlu = min_mlu(&inst.topo, &inst.tunnels[0], &inst.demands[0]).unwrap();
+    assert!((mlu - 1.5).abs() < 1e-6);
+
+    let units = link_units(&inst.topo, &vec![0.001; inst.topo.num_links()]);
+    let set = enumerate_scenarios(
+        &units,
+        inst.topo.num_links(),
+        &EnumOptions { prob_cutoff: 0.0, max_scenarios: 1, coverage_target: 2.0 },
+    );
+    // Intact-network ScenBest worst loss = 1 - 1/MLU = 1/3.
+    let losses = flexile::te::mcf::scen_best_scenario(&inst, &set.scenarios[0], true);
+    let worst = losses.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        (worst - (1.0 - 1.0 / mlu)).abs() < 1e-6,
+        "ScenLoss {worst} vs 1-1/MLU {}",
+        1.0 - 1.0 / mlu
+    );
+}
+
+/// Below saturation the optimal scenario loss is zero.
+#[test]
+fn scenloss_zero_below_saturation() {
+    let topo = topology_by_name("Sprint").unwrap();
+    let inst = Instance::single_class(topo, 3, 0.7, Some(20));
+    let units = link_units(&inst.topo, &vec![0.001; inst.topo.num_links()]);
+    let set = enumerate_scenarios(
+        &units,
+        inst.topo.num_links(),
+        &EnumOptions { prob_cutoff: 0.0, max_scenarios: 1, coverage_target: 2.0 },
+    );
+    let worst = flexile::te::mcf::optimal_scen_loss(&inst, &set.scenarios[0], true);
+    assert!(worst < 1e-6, "ScenLoss {worst} should be 0 at MLU 0.7");
+}
+
+/// SRLGs (§4.1): links sharing an optical component fail together. A
+/// scenario set built from SRLG units must kill whole groups atomically.
+#[test]
+fn srlg_units_fail_atomically() {
+    let topo = Topology::new("sq", 4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+    // Links 0 and 2 share fate; links 1 and 3 are independent.
+    let units = vec![
+        FailureUnit::srlg(&[LinkId(0), LinkId(2)], 0.01),
+        FailureUnit::link(LinkId(1), 0.01),
+        FailureUnit::link(LinkId(3), 0.01),
+    ];
+    let set = enumerate_scenarios(
+        &units,
+        4,
+        &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+    );
+    assert_eq!(set.scenarios.len(), 8);
+    for s in &set.scenarios {
+        // Links 0 and 2 always share a fate.
+        assert_eq!(
+            s.cap_factor[0], s.cap_factor[2],
+            "SRLG links diverged in {:?}",
+            s.failed_units
+        );
+    }
+    // The SRLG failure scenario exists and has the group's probability.
+    let srlg_only = set
+        .scenarios
+        .iter()
+        .find(|s| s.failed_units == vec![0])
+        .expect("srlg scenario");
+    assert!((srlg_only.prob - 0.01 * 0.99 * 0.99).abs() < 1e-12);
+    assert_eq!(srlg_only.cap_factor, vec![0.0, 1.0, 0.0, 1.0]);
+}
+
+/// Flexile designs correctly against SRLG scenario sets: the square ring
+/// with a correlated (0,2) pair still admits a zero-PercLoss design at 99%
+/// for adjacent flows.
+#[test]
+fn flexile_with_srlgs() {
+    let topo = Topology::new("sq", 4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+    let pairs = vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))];
+    let tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+    let mut class = ClassConfig::single();
+    class.beta = 0.99;
+    let inst = Instance {
+        topo,
+        pairs,
+        classes: vec![class],
+        tunnels: vec![tunnels],
+        demands: vec![vec![1.0, 1.0]],
+    };
+    let units = vec![
+        FailureUnit::srlg(&[LinkId(0), LinkId(2)], 0.005),
+        FailureUnit::link(LinkId(1), 0.005),
+        FailureUnit::link(LinkId(3), 0.005),
+    ];
+    let set = enumerate_scenarios(
+        &inst_units(&units),
+        4,
+        &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+    );
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    // Each flow's direct link is alive with probability ≥ 0.99 even under
+    // the correlated failure, so zero PercLoss is achievable.
+    assert!(design.penalty < 1e-6, "penalty {}", design.penalty);
+}
+
+fn inst_units(u: &[FailureUnit]) -> Vec<FailureUnit> {
+    u.to_vec()
+}
+
+/// §4.4 imperfect-probability compensation: the inflated target covers the
+/// true SLO even when predictions overstate scenario probabilities.
+#[test]
+fn inflate_beta_compensates_prediction_error() {
+    use flexile::core::inflate_beta;
+    let beta = 0.99;
+    let margin = 0.005;
+    let designed = inflate_beta(beta, margin);
+    assert!(designed > beta);
+    assert!(designed <= 1.0);
+    // Designing with overestimated probabilities: true mass of the covered
+    // set is at least designed / (1 + margin) >= beta.
+    assert!(designed / (1.0 + margin) + 1e-12 >= beta);
+    assert_eq!(inflate_beta(0.999, 1.0), 1.0); // saturates
+}

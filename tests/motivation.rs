@@ -1,0 +1,148 @@
+//! Integration tests for the paper's §3 motivation and appendix
+//! propositions, exercised through the public facade API.
+
+use flexile::prelude::*;
+use flexile::scenario::model::link_units;
+
+/// The Fig. 1 triangle with β = 0.99.
+fn fig1() -> (Instance, ScenarioSet) {
+    let topo = Topology::new("fig1", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+    let pairs = vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))];
+    let tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+    let mut class = ClassConfig::single();
+    class.beta = 0.99;
+    let inst = Instance {
+        topo,
+        pairs,
+        classes: vec![class],
+        tunnels: vec![tunnels],
+        demands: vec![vec![1.0, 1.0]],
+    };
+    let units = link_units(&inst.topo, &[0.01; 3]);
+    let set = enumerate_scenarios(
+        &units,
+        3,
+        &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+    );
+    (inst, set)
+}
+
+fn percloss(r: &SchemeResult, set: &ScenarioSet, beta: f64) -> f64 {
+    let m = LossMatrix::new(r.loss.clone(), set.probs(), set.residual);
+    let flows: Vec<usize> = (0..r.loss.len()).collect();
+    perc_loss(&m, &flows, beta)
+}
+
+#[test]
+fn fig2_scenbest_stuck_at_half() {
+    // "ScenBest can only support 0.5 units for f1 and f2 99% of the time."
+    let (inst, set) = fig1();
+    let r = flexile::te::mcf::scen_best(&inst, &set);
+    let pl = percloss(&r, &set, 0.99);
+    assert!((pl - 0.5).abs() < 1e-6, "ScenBest PercLoss = {pl}");
+}
+
+#[test]
+fn fig3_teavar_stuck_at_half() {
+    // "Teavar too cannot support more than 0.5 units 99% of time."
+    let (inst, set) = fig1();
+    let r = flexile::te::teavar::teavar(&inst, &set, 0.99);
+    let pl = percloss(&r, &set, 0.99);
+    assert!(pl >= 0.45 && pl <= 0.55, "Teavar PercLoss = {pl}");
+}
+
+#[test]
+fn fig4_flexile_meets_objectives() {
+    // "Flexile can support 1 unit of each of f1 and f2 by prioritizing
+    // them in their critical scenarios."
+    let (inst, set) = fig1();
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    let r = flexile_losses(&inst, &set, &design);
+    let pl = percloss(&r, &set, 0.99);
+    assert!(pl < 1e-6, "Flexile PercLoss = {pl}");
+    // Fig. 4's criticality structure: the two single-failure scenarios
+    // where a flow's direct link is alive are critical for it.
+    let q_ab_fail = set
+        .scenarios
+        .iter()
+        .position(|s| s.failed_units == vec![0])
+        .unwrap();
+    let q_ac_fail = set
+        .scenarios
+        .iter()
+        .position(|s| s.failed_units == vec![1])
+        .unwrap();
+    // Not both flows can be critical in both single-failure scenarios.
+    assert!(
+        !(design.critical[0][q_ab_fail]
+            && design.critical[1][q_ab_fail]
+            && design.critical[0][q_ac_fail]
+            && design.critical[1][q_ac_fail]),
+        "criticality must differ per flow across failure states"
+    );
+}
+
+#[test]
+fn proposition2_cvar_family_conservative() {
+    // "PercLoss found by Teavar, and all CVaR strategies is at least 48%
+    // even though there exists an optimal strategy achieving zero."
+    let (inst, set) = fig1();
+    let st = flexile::te::cvar_flow::cvar_flow_st(
+        &inst,
+        &set,
+        &flexile::te::cvar_flow::CvarOptions::new(0.99),
+    );
+    let ad = flexile::te::cvar_flow::cvar_flow_ad(
+        &inst,
+        &set,
+        &flexile::te::cvar_flow::CvarOptions::new(0.99),
+    );
+    // Allow a few percent of slack around the analytical 48.51% bound for
+    // LP tolerance.
+    assert!(percloss(&st, &set, 0.99) >= 0.44, "St too good");
+    assert!(percloss(&ad, &set, 0.99) >= 0.44, "Ad too good");
+}
+
+#[test]
+fn appendix_fig16_no_bc_link_scenbest_succeeds() {
+    // Without the B-C link, ScenBest meets both objectives (the anomaly:
+    // ADDING a link degrades ScenBest's guarantee, Fig. 16).
+    let topo = Topology::new("fig16", 3, &[(0, 1, 1.0), (0, 2, 1.0)]);
+    let pairs = vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))];
+    let tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+    let mut class = ClassConfig::single();
+    class.beta = 0.99;
+    let inst = Instance {
+        topo,
+        pairs,
+        classes: vec![class],
+        tunnels: vec![tunnels],
+        demands: vec![vec![1.0, 1.0]],
+    };
+    let units = link_units(&inst.topo, &[0.01; 2]);
+    let set = enumerate_scenarios(
+        &units,
+        2,
+        &EnumOptions { prob_cutoff: 0.0, max_scenarios: 4, coverage_target: 2.0 },
+    );
+    let r = flexile::te::mcf::scen_best(&inst, &set);
+    let pl = percloss(&r, &set, 0.99);
+    assert!(pl < 1e-6, "ScenBest on fig16 should be lossless at 99%: {pl}");
+
+    // ... while Flexile is immune to the anomaly on BOTH topologies.
+    let (inst1, set1) = fig1();
+    let design = solve_flexile(&inst1, &set1, &FlexileOptions::default());
+    let fx = flexile_losses(&inst1, &set1, &design);
+    assert!(percloss(&fx, &set1, 0.99) < 1e-6);
+}
+
+#[test]
+fn appendix_fig17_maxmin_unfair_across_scenarios() {
+    // Directed-intuition version of Fig. 17: with the full triangle, SWAN
+    // max-min (fair per scenario) still leaves some flow with 0.5 loss at
+    // the 99th percentile, while Flexile protects both flows.
+    let (inst, set) = fig1();
+    let sm = flexile::te::swan::swan_maxmin(&inst, &set);
+    let pl_sm = percloss(&sm, &set, 0.99);
+    assert!(pl_sm >= 0.45, "max-min per scenario cannot meet the target: {pl_sm}");
+}

@@ -1,0 +1,138 @@
+//! End-to-end pipeline tests on a real (Table-2) topology through the
+//! public facade: every scheme runs, and the qualitative orderings the
+//! paper reports hold.
+
+use flexile::prelude::*;
+use flexile::scenario::model::link_units;
+
+fn sprint_setup(pairs_cap: usize, scen_cap: usize) -> (Instance, ScenarioSet) {
+    let topo = topology_by_name("Sprint").expect("Sprint in Table 2");
+    let probs = link_failure_probs(topo.num_links(), 0.8, 0.001, 99);
+    let units = link_units(&topo, &probs);
+    let set = enumerate_scenarios(
+        &topo_units(&units),
+        topo.num_links(),
+        &EnumOptions { prob_cutoff: 1e-7, max_scenarios: scen_cap, coverage_target: 1.1 },
+    );
+    let inst = Instance::single_class(topo, 99, 0.6, Some(pairs_cap));
+    (inst, set)
+}
+
+// Identity helper keeps the unit list's type independent of the facade path.
+fn topo_units(u: &[FailureUnit]) -> Vec<FailureUnit> {
+    u.to_vec()
+}
+
+fn percloss(r: &SchemeResult, set: &ScenarioSet, flows: &[usize], beta: f64) -> f64 {
+    let m = LossMatrix::new(r.loss.clone(), set.probs(), set.residual);
+    perc_loss(&m, flows, beta)
+}
+
+#[test]
+fn single_class_scheme_ordering_on_sprint() {
+    let (mut inst, set) = sprint_setup(15, 15);
+    let beta = set.max_feasible_beta(&inst.tunnels[0]);
+    inst.classes[0].beta = beta;
+    let flows: Vec<usize> = (0..inst.num_flows()).collect();
+
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    let fx = flexile_losses(&inst, &set, &design);
+    let sb = flexile::te::mcf::scen_best(&inst, &set);
+    let tv = flexile::te::teavar::teavar(&inst, &set, beta);
+
+    let pl_fx = percloss(&fx, &set, &flows, beta);
+    let pl_sb = percloss(&sb, &set, &flows, beta);
+    let pl_tv = percloss(&tv, &set, &flows, beta);
+
+    // Proposition 1 end to end: Flexile is never worse than ScenBest, and
+    // ScenBest is never worse than Teavar's conservative design.
+    assert!(pl_fx <= pl_sb + 1e-6, "Flexile {pl_fx} vs ScenBest {pl_sb}");
+    assert!(pl_sb <= pl_tv + 1e-6, "ScenBest {pl_sb} vs Teavar {pl_tv}");
+}
+
+#[test]
+fn offline_alpha_matches_online_losses() {
+    // The offline promise (per-class alpha) is honored by the online
+    // allocation: critical flows never lose more than alpha in their
+    // critical scenarios.
+    let (mut inst, set) = sprint_setup(12, 12);
+    let beta = set.max_feasible_beta(&inst.tunnels[0]);
+    inst.classes[0].beta = beta;
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    let fx = flexile_losses(&inst, &set, &design);
+    for f in 0..inst.num_flows() {
+        for q in 0..set.scenarios.len() {
+            if design.critical[f][q] {
+                assert!(
+                    fx.loss[f][q] <= design.alpha[0] + 1e-4,
+                    "flow {f} scen {q}: online loss {} exceeds promised {}",
+                    fx.loss[f][q],
+                    design.alpha[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn percentile_guarantee_holds_end_to_end() {
+    // The β-percentile of every flow's ONLINE loss is within the design
+    // PercLoss (the metric the whole paper optimizes).
+    let (mut inst, set) = sprint_setup(12, 12);
+    let beta = set.max_feasible_beta(&inst.tunnels[0]);
+    inst.classes[0].beta = beta;
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    let fx = flexile_losses(&inst, &set, &design);
+    let m = LossMatrix::new(fx.loss.clone(), set.probs(), set.residual);
+    for f in 0..inst.num_flows() {
+        let fl = flow_loss(&m, f, beta);
+        assert!(
+            fl <= design.alpha[0] + 1e-4,
+            "flow {f}: percentile loss {fl} exceeds design alpha {}",
+            design.alpha[0]
+        );
+    }
+}
+
+#[test]
+fn two_class_high_priority_protected() {
+    let topo = topology_by_name("Sprint").unwrap();
+    let probs = link_failure_probs(topo.num_links(), 0.8, 0.001, 5);
+    let units = link_units(&topo, &probs);
+    let set = enumerate_scenarios(
+        &units,
+        topo.num_links(),
+        &EnumOptions { prob_cutoff: 1e-7, max_scenarios: 12, coverage_target: 1.1 },
+    );
+    let inst = Instance::two_class(topo, 5, 0.6, Some(12));
+    let betas = effective_betas(&inst, &set);
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    let fx = flexile_losses(&inst, &set, &design);
+    let m = LossMatrix::new(fx.loss.clone(), set.probs(), set.residual);
+    let hi = perc_loss(&m, &inst.class_flows(0), betas[0]);
+    let lo = perc_loss(&m, &inst.class_flows(1), betas[1]);
+    // High-priority traffic sees (near) zero percentile loss, and never
+    // does worse than the heavier low-priority class.
+    assert!(hi <= lo + 1e-6, "high {hi} vs low {lo}");
+    assert!(hi < 0.2, "high-priority PercLoss too large: {hi}");
+}
+
+#[test]
+fn emulation_of_flexile_matches_model() {
+    let (mut inst, set) = sprint_setup(10, 8);
+    let beta = set.max_feasible_beta(&inst.tunnels[0]);
+    inst.classes[0].beta = beta;
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    let fx = flexile_losses(&inst, &set, &design);
+    let emu = &emulate_scheme(&inst, &set, &fx, &EmuConfig::default(), 1)[0];
+    for f in 0..inst.num_flows() {
+        for q in 0..set.scenarios.len() {
+            assert!(
+                (emu.loss[f][q] - fx.loss[f][q]).abs() < 0.03,
+                "flow {f} scen {q}: emu {} vs model {}",
+                emu.loss[f][q],
+                fx.loss[f][q]
+            );
+        }
+    }
+}

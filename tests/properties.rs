@@ -1,0 +1,144 @@
+//! Property-based tests on cross-crate invariants.
+
+use flexile::lp::{Model, Sense};
+use flexile::metrics::{flow_loss, Cdf, LossMatrix};
+use flexile::prelude::*;
+use flexile::scenario::model::link_units;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simplex always returns a feasible point, and for maximization
+    /// with nonnegative data it dominates a trivially feasible point.
+    #[test]
+    fn simplex_feasible_and_dominant(
+        costs in prop::collection::vec(0.1f64..10.0, 3..6),
+        caps in prop::collection::vec(1.0f64..20.0, 2..4),
+    ) {
+        let mut m = Model::new(Sense::Max);
+        let vars: Vec<_> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| m.add_var(&format!("x{i}"), 0.0, 5.0, c))
+            .collect();
+        for (r, &cap) in caps.iter().enumerate() {
+            // Each row covers a sliding window of variables.
+            let coeffs: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + r) % 2 == 0)
+                .map(|(_, &v)| (v, 1.0))
+                .collect();
+            if !coeffs.is_empty() {
+                m.add_row_le(&coeffs, cap);
+            }
+        }
+        let sol = m.solve().unwrap();
+        prop_assert!(m.max_violation(&sol.x) < 1e-6);
+        // The origin is feasible with objective 0.
+        prop_assert!(sol.objective >= -1e-9);
+    }
+
+    /// FlowLoss is monotone non-decreasing in β.
+    #[test]
+    fn flow_loss_monotone_in_beta(
+        losses in prop::collection::vec(0.0f64..=1.0, 4..10),
+        beta1 in 0.05f64..0.5,
+        beta2 in 0.5f64..0.95,
+    ) {
+        let n = losses.len();
+        let prob = vec![1.0 / n as f64; n];
+        let m = LossMatrix::new(vec![losses], prob, 0.0);
+        prop_assert!(flow_loss(&m, 0, beta1) <= flow_loss(&m, 0, beta2) + 1e-12);
+    }
+
+    /// CDF quantile and at() are consistent: at(quantile(q)) >= q.
+    #[test]
+    fn cdf_quantile_at_consistency(
+        samples in prop::collection::vec(0.0f64..100.0, 1..30),
+        q in 0.01f64..0.99,
+    ) {
+        let cdf = Cdf::from_samples(&samples);
+        let v = cdf.quantile(q);
+        prop_assert!(cdf.at(v) + 1e-9 >= q);
+    }
+
+    /// Scenario enumeration emits non-increasing probabilities that match
+    /// the independent-failure product, and covers + residual == 1.
+    #[test]
+    fn enumeration_probabilities_consistent(
+        probs in prop::collection::vec(0.001f64..0.3, 3..6),
+    ) {
+        let n = probs.len();
+        let links: Vec<(u32, u32, f64)> =
+            (0..n).map(|i| (i as u32, ((i + 1) % n) as u32, 1.0)).collect();
+        let topo = Topology::new("ring", n, &links);
+        let units = link_units(&topo, &probs);
+        let set = enumerate_scenarios(
+            &units,
+            n,
+            &EnumOptions { prob_cutoff: 0.0, max_scenarios: 1 << n, coverage_target: 2.0 },
+        );
+        prop_assert_eq!(set.scenarios.len(), 1 << n);
+        let total: f64 = set.scenarios.iter().map(|s| s.prob).sum();
+        prop_assert!((total + set.residual - 1.0).abs() < 1e-9);
+        for w in set.scenarios.windows(2) {
+            prop_assert!(w[0].prob >= w[1].prob - 1e-15);
+        }
+    }
+
+    /// Tunnel-split quantization: weights sum to the level count and no
+    /// bucket is off by more than one unit from the exact proportion.
+    #[test]
+    fn quantization_error_bounded(
+        xs in prop::collection::vec(0.0f64..10.0, 1..6),
+    ) {
+        let total: f64 = xs.iter().sum();
+        prop_assume!(total > 1e-9);
+        let levels = 100u32;
+        let w = flexile::emu::plan::quantize_weights(&xs, total, levels);
+        prop_assert_eq!(w.iter().sum::<u32>(), levels);
+        for (i, &wi) in w.iter().enumerate() {
+            let exact = xs[i] / total * levels as f64;
+            prop_assert!((wi as f64 - exact).abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Benders cuts from the subproblem under-estimate its value at every
+    /// other criticality column (validity), and are tight at their own.
+    #[test]
+    fn subproblem_cut_validity(z1 in any::<bool>(), z2 in any::<bool>()) {
+        use flexile::core::subproblem::SubproblemTemplate;
+        let topo = Topology::new("fig1", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        let pairs = vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))];
+        let tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+        let mut class = ClassConfig::single();
+        class.beta = 0.99;
+        let inst = Instance {
+            topo, pairs, classes: vec![class],
+            tunnels: vec![tunnels], demands: vec![vec![1.0, 1.0]],
+        };
+        let units = link_units(&inst.topo, &[0.01; 3]);
+        let set = enumerate_scenarios(
+            &units, 3,
+            &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+        );
+        let scen = set.scenarios.iter().find(|s| s.failed_units == vec![0]).unwrap();
+        let mut t = SubproblemTemplate::new(&inst, None);
+        let base = t.solve(&inst, scen, &[true, true]).unwrap();
+        let cap_arc: Vec<f64> = (0..inst.num_arcs())
+            .map(|a| inst.arc_capacity(a) * scen.cap_factor[inst.arc_link(a)])
+            .collect();
+        // Tightness at the generation point.
+        let g_here = base.cut.eval(&[1.0, 1.0], &cap_arc);
+        prop_assert!((g_here - base.value).abs() < 1e-6);
+        // Validity at an arbitrary other point.
+        let mut t2 = SubproblemTemplate::new(&inst, None);
+        let other = t2.solve(&inst, scen, &[z1, z2]).unwrap();
+        let zf = [if z1 { 1.0 } else { 0.0 }, if z2 { 1.0 } else { 0.0 }];
+        let g_other = base.cut.eval(&zf, &cap_arc);
+        prop_assert!(g_other <= other.value + 1e-6,
+            "cut {g_other} exceeds value {}", other.value);
+    }
+}

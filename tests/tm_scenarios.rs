@@ -1,0 +1,100 @@
+//! §4.4 "More general scenarios": designing for a set of traffic matrices
+//! with associated probabilities (demand levels crossed with failures).
+
+use flexile::prelude::*;
+use flexile::scenario::model::link_units;
+use flexile::scenario::with_demand_levels;
+
+fn fig1(beta: f64) -> (Instance, ScenarioSet) {
+    let topo = Topology::new("fig1", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+    let pairs = vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))];
+    let tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+    let mut class = ClassConfig::single();
+    class.beta = beta;
+    let inst = Instance {
+        topo,
+        pairs,
+        classes: vec![class],
+        tunnels: vec![tunnels],
+        // Base demands below capacity so only the surge level contends.
+        demands: vec![vec![0.8, 0.8]],
+    };
+    let units = link_units(&inst.topo, &[0.01; 3]);
+    let set = enumerate_scenarios(
+        &units,
+        3,
+        &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+    );
+    (inst, set)
+}
+
+#[test]
+fn surge_scenarios_increase_subproblem_loss() {
+    use flexile::core::subproblem::SubproblemTemplate;
+    let (inst, set) = fig1(0.99);
+    let tm = with_demand_levels(&set, &[(1.0, 0.7), (2.0, 0.3)]);
+    // Find the all-alive scenario at each level.
+    let normal = tm
+        .scenarios
+        .iter()
+        .find(|s| s.failed_units.is_empty() && s.demand_factor == 1.0)
+        .unwrap();
+    let surge = tm
+        .scenarios
+        .iter()
+        .find(|s| s.failed_units.is_empty() && s.demand_factor == 2.0)
+        .unwrap();
+    let z = vec![true, true];
+    let mut t1 = SubproblemTemplate::for_demand_factor(&inst, None, 1.0);
+    let v_normal = t1.solve(&inst, normal, &z).unwrap().value;
+    let mut t2 = SubproblemTemplate::for_demand_factor(&inst, None, 2.0);
+    let v_surge = t2.solve(&inst, surge, &z).unwrap().value;
+    // Normal load fits (0.8 per direct link); the 2× surge (1.6 per flow)
+    // cannot: each flow has total path capacity 2 but they share links, so
+    // some loss is unavoidable.
+    assert!(v_normal < 1e-7, "normal-level value {v_normal}");
+    assert!(v_surge > 0.05, "surge-level value {v_surge}");
+}
+
+#[test]
+fn template_factor_mismatch_is_rejected() {
+    use flexile::core::subproblem::SubproblemTemplate;
+    let (inst, set) = fig1(0.99);
+    let tm = with_demand_levels(&set, &[(1.0, 0.5), (1.5, 0.5)]);
+    let surge = tm.scenarios.iter().find(|s| s.demand_factor == 1.5).unwrap();
+    let mut t = SubproblemTemplate::new(&inst, None); // factor 1.0
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = t.solve(&inst, surge, &[true, true]);
+    }));
+    assert!(res.is_err(), "factor mismatch must be rejected");
+}
+
+#[test]
+fn flexile_designs_across_demand_levels() {
+    // β = 0.95 with a 20%-probable 2× surge: the design may treat surge
+    // states as non-critical for one of the flows and still cover β.
+    let (inst, set) = fig1(0.95);
+    let tm = with_demand_levels(&set, &[(1.0, 0.8), (2.0, 0.2)]);
+    let design = solve_flexile(&inst, &tm, &FlexileOptions::default());
+    // Coverage must hold per flow.
+    for f in 0..inst.num_flows() {
+        let mass: f64 = tm
+            .scenarios
+            .iter()
+            .enumerate()
+            .filter(|(q, _)| design.critical[f][*q])
+            .map(|(_, s)| s.prob)
+            .sum();
+        assert!(mass + 1e-9 >= 0.95, "flow {f} covers {mass}");
+    }
+    // The normal level alone carries 0.97 × 0.8 ≈ 0.78 < β, so surge
+    // scenarios must participate and the penalty reflects surge contention
+    // but stays below the naive 2×-everywhere loss.
+    assert!(design.penalty <= 0.65, "penalty {}", design.penalty);
+
+    // Online allocation honors the surge demands end to end.
+    let r = flexile_losses(&inst, &tm, &design);
+    let m = LossMatrix::new(r.loss.clone(), tm.probs(), tm.residual);
+    let pl = perc_loss(&m, &[0, 1], 0.95);
+    assert!(pl <= design.penalty + 0.05, "online PercLoss {pl} vs offline {}", design.penalty);
+}
