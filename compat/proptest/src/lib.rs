@@ -1,0 +1,303 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! range and `any::<bool>()` strategies, `prop::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with its
+//! case number and generated inputs printed via `Debug`), and generation is
+//! driven by a fixed-seed deterministic RNG, so failures reproduce exactly
+//! across runs.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Why a generated case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert!` failed; the test fails.
+    Fail(String),
+}
+
+/// Per-test configuration (subset of upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator (subset of upstream `Strategy`; no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+int_strategy!(usize, u64, u32, u16, u8, i64, i32, f64);
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random_range(0u64..2) == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random_range(0u64..=u64::MAX - 1)
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (subset of upstream `any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Combinator strategies, mirroring upstream's `prop` module paths.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<T>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let n = rng.random_range(self.size.clone());
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+
+        /// `Vec` strategy: `size.len()` elements drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {} == {} ({:?} vs {:?})",
+                    stringify!($a), stringify!($b), a, b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {} == {} ({:?} vs {:?}): {}",
+                    stringify!($a), stringify!($b), a, b, format!($($fmt)*)),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests (subset of upstream `proptest!`).
+///
+/// Each test runs `cases` deterministic seeded cases; `prop_assume!`
+/// rejections are skipped without counting as failures.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg); $($rest)*);
+    };
+    (@with_cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                // Deterministic per-test seed derived from the test name.
+                let seed = stringify!($name)
+                    .bytes()
+                    .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+                    });
+                let mut rng =
+                    <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(seed);
+                let mut ran = 0u32;
+                let mut attempts = 0u32;
+                while ran < cfg.cases && attempts < cfg.cases.saturating_mul(20) {
+                    attempts += 1;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let inputs = format!("{:?}", ($( &$arg, )*));
+                    // The immediately-called closure gives `$body` a `?`
+                    // scope, like real proptest's test-case function.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::TestCaseError::Reject(_)) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {} of {} failed: {}\ninputs: {inputs}",
+                                ran + 1,
+                                stringify!($name),
+                                msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, f in 0.5f64..=2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..=2.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in prop::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn any_bool_varies(b in any::<bool>(), c in any::<bool>()) {
+            // Both values are valid booleans; nothing else to check.
+            let _ = (b, c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 1000, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

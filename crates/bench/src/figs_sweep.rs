@@ -56,15 +56,13 @@ pub fn run_fig11(cfg: &ExpConfig, limit: usize) {
         let beta = set.max_feasible_beta(&inst.tunnels[0]);
         inst.classes[0].beta = beta;
         let flows: Vec<usize> = (0..inst.num_flows()).collect();
-        let results = vec![
-            teavar::teavar(&inst, &set, beta),
+        let results = [teavar::teavar(&inst, &set, beta),
             cvar_flow_st(&inst, &set, &CvarOptions::new(beta)),
             cvar_flow_ad(&inst, &set, &CvarOptions::new(beta)),
             {
                 let design = solve_flexile(&inst, &set, &flexile_opts(cfg));
                 flexile_core::flexile_losses(&inst, &set, &design)
-            },
-        ];
+            }];
         for (i, r) in results.iter().enumerate() {
             let pl = perc_loss(&loss_matrix(r, &set), &flows, beta);
             println!("{name},{},{}", r.name, pct(pl));

@@ -26,7 +26,7 @@ pub fn run_summary(cfg: &ExpConfig) {
         100.0 * set.covered_prob()
     );
     println!("scheme,percloss_pct,flows_meeting_zero_loss_slo_pct");
-    let mut report = |r: &SchemeResult| {
+    let report = |r: &SchemeResult| {
         let m = loss_matrix(r, &set);
         let pl = perc_loss(&m, &flows, beta);
         let slo = slo_compliance(&m, 0.0, beta);

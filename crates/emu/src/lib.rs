@@ -24,13 +24,20 @@
 //! (`flexile_te::SchemeResult`) every scheme already produces, converting
 //! served bandwidth back into tunnel-level forwarding state with the same
 //! allocation LP the schemes use.
+//!
+//! On top of the data-plane emulator, [`chaos`] stresses the *control
+//! plane*: it replays timed fail/recover traces against the online
+//! controller while injecting solver faults, and checks the degradation
+//! chain's loss-bound invariants at every step.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod fluid;
 pub mod plan;
 pub mod runner;
 
+pub use chaos::{run_chaos, ChaosEvent, ChaosReport, ChaosStep, ChaosTrace};
 pub use fluid::propagate;
 pub use plan::{plans_from_served, FlowPlan};
 pub use runner::{emulate_scheme, EmuConfig};

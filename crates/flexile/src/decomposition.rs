@@ -107,18 +107,18 @@ pub fn evaluate_criticality(
     for (q, scen) in set.scenarios.iter().enumerate() {
         let rebuild = tmpl
             .as_ref()
-            .map_or(true, |t| !t.matches_factor(scen.demand_factor));
+            .is_none_or(|t| !t.matches_factor(scen.demand_factor));
         if rebuild {
             tmpl = Some(SubproblemTemplate::for_demand_factor(inst, None, scen.demand_factor));
         }
         let zq: Vec<bool> = (0..nf).map(|f| critical[f][q]).collect();
-        let sol = tmpl
-            .as_mut()
-            .expect("template built")
-            .solve(inst, scen, &zq)
-            .expect("subproblem LP failed");
-        for f in 0..nf {
-            loss[f][q] = sol.loss[f];
+        // A scenario whose LP fails terminally keeps its pessimistic
+        // initialization (loss 1 everywhere) instead of aborting the
+        // whole evaluation.
+        if let Ok(sol) = tmpl.as_mut().expect("template built").solve(inst, scen, &zq) {
+            for f in 0..nf {
+                loss[f][q] = sol.loss[f];
+            }
         }
     }
     let lm = LossMatrix::new(loss, set.probs(), set.residual);
@@ -175,7 +175,9 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
     let mut last_z_col: Vec<Option<Vec<bool>>> = vec![None; nq];
     let mut perfect: Vec<bool> = vec![false; nq];
 
-    let mut best: Option<(f64, Vec<Vec<bool>>, Vec<Vec<f64>>, Vec<f64>)> = None;
+    // Best incumbent: (penalty, criticality, loss matrix, per-class alpha).
+    type Incumbent = (f64, Vec<Vec<bool>>, Vec<Vec<f64>>, Vec<f64>);
+    let mut best: Option<Incumbent> = None;
     let mut iterations = Vec::new();
 
     for it in 1..=opts.max_iterations {
@@ -195,20 +197,27 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
         let pruned = nq - todo.len();
 
         // Solve subproblems (parallel chunks, each with its own template).
+        // Workers never panic on solver failures: each scenario's result is
+        // a `Result`, and a terminal LP error just marks the scenario
+        // unsolved for this iteration (pessimistic losses, no cut, retried
+        // next round) instead of taking the whole decomposition down.
         let threads = opts.threads.max(1).min(todo.len().max(1));
+        type ScenResult =
+            (usize, Result<crate::subproblem::SubproblemSolution, flexile_lp::LpError>);
         let mut results: Vec<Option<crate::subproblem::SubproblemSolution>> = vec![None; nq];
+        let mut failed: Vec<usize> = Vec::new();
         if !todo.is_empty() {
             let chunks: Vec<Vec<usize>> = (0..threads)
                 .map(|t| todo.iter().copied().skip(t).step_by(threads).collect())
                 .collect();
             let z_ref = &z;
             let loss_ub_ref = &loss_ub;
-            let outputs: Vec<Vec<(usize, crate::subproblem::SubproblemSolution)>> =
-                crossbeam::thread::scope(|s| {
+            let outputs: Vec<Vec<ScenResult>> =
+                std::thread::scope(|s| {
                     let handles: Vec<_> = chunks
                         .iter()
                         .map(|chunk| {
-                            s.spawn(move |_| {
+                            s.spawn(move || {
                                 let mut out = Vec::with_capacity(chunk.len());
                                 // γ bounds differ per scenario, so that
                                 // variant rebuilds the template per solve;
@@ -231,7 +240,7 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
                                         None => {
                                             let rebuild = tmpl
                                                 .as_ref()
-                                                .map_or(true, |t| !t.matches_factor(scen.demand_factor));
+                                                .is_none_or(|t| !t.matches_factor(scen.demand_factor));
                                             if rebuild {
                                                 tmpl = Some(SubproblemTemplate::for_demand_factor(
                                                     inst,
@@ -241,8 +250,7 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
                                             }
                                             tmpl.as_mut().expect("template built").solve(inst, scen, &zq)
                                         }
-                                    }
-                                    .expect("subproblem LP failed");
+                                    };
                                     out.push((q, sol));
                                 }
                                 out
@@ -250,16 +258,29 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                })
-                .expect("crossbeam scope failed");
+                });
             for chunk in outputs {
                 for (q, sol) in chunk {
-                    results[q] = Some(sol);
+                    match sol {
+                        Ok(s) => results[q] = Some(s),
+                        Err(_) => failed.push(q),
+                    }
                 }
             }
         }
 
+        // Failed scenarios: pessimistic losses this iteration, no cut, and
+        // no column cache so the pruning logic re-solves them next round.
+        for &q in &failed {
+            cached_loss[q] = None;
+            cached_value[q] = f64::INFINITY;
+            last_z_col[q] = None;
+        }
+
         for &q in &todo {
+            if failed.contains(&q) {
+                continue;
+            }
             let sol = results[q].take().expect("solved scenario missing");
             // Perfect-scenario pruning: zero penalty with the maximal
             // criticality column can never bind later.
@@ -292,7 +313,7 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             .zip(inst.classes.iter())
             .map(|(a, c)| a * c.weight)
             .sum();
-        if best.as_ref().map_or(true, |(bp, ..)| penalty < *bp - 1e-12) {
+        if best.as_ref().is_none_or(|(bp, ..)| penalty < *bp - 1e-12) {
             best = Some((penalty, z.clone(), loss_matrix, alphas));
         }
         iterations.push(IterationStat {

@@ -41,7 +41,11 @@ pub mod subproblem;
 pub use decomposition::{solve_flexile, FlexileDesign, FlexileOptions, IterationStat};
 pub use lexicographic::{solve_flexile_lexicographic, LexicographicDesign};
 pub use model::{solve_ip, IpOptions, IpResult};
-pub use online::{flexile_losses, online_allocate};
+pub use online::{
+    carry_forward_losses, flexile_losses, flexile_losses_with_report, online_allocate,
+    online_allocate_robust, proportional_share_losses, DegradationLevel, OnlineOutcome,
+    OnlineRunReport,
+};
 
 /// Compensate for imperfect failure-probability prediction (§4.4): design
 /// for a slightly higher target so that even if the predicted scenario

@@ -27,7 +27,7 @@
 //! this is tight (strong duality); evaluated at another scenario it is the
 //! shared-dual-space cross cut (22).
 
-use flexile_lp::{Basis, LpError, Model, RowId, Sense, SimplexOptions, VarId};
+use flexile_lp::{solve_robust, Basis, LpError, Model, RobustOptions, RowId, Sense, SolveBudget, VarId};
 use flexile_scenario::Scenario;
 use flexile_traffic::Instance;
 
@@ -196,18 +196,13 @@ impl SubproblemTemplate {
             cap_arc[a] = cap;
             self.model.set_rhs(r, cap);
         }
-        let sol = match self
-            .model
-            .solve_with(&SimplexOptions::default(), self.warm.as_ref())
-        {
-            Ok(s) => s,
-            Err(LpError::IterationLimit) | Err(LpError::Numerical(_)) => {
-                // Retry cold with a generous budget.
-                self.model
-                    .solve_with(&SimplexOptions { max_iters: 2_000_000 }, None)?
-            }
-            Err(e) => return Err(e),
+        // Robust ladder with a generous iteration budget: warm fast path
+        // first, then the cold / safe-mode / perturbation rungs.
+        let rb = RobustOptions {
+            budget: SolveBudget::with_max_iters(2_000_000),
+            ..Default::default()
         };
+        let sol = solve_robust(&self.model, &rb, self.warm.as_ref()).result?;
         self.warm = Some(sol.basis.clone());
 
         let alpha: Vec<f64> = self.alpha_vars.iter().map(|&v| sol.value(v)).collect();

@@ -1,0 +1,81 @@
+//! Solve budgets: iteration caps plus wall-clock deadlines.
+//!
+//! A [`SolveBudget`] bounds how much work a solve (or a chain of retries)
+//! may spend. The iteration cap is per attempt; the deadline is an
+//! *absolute* instant so it composes naturally across the escalation rungs
+//! of [`crate::solve_robust`] and across the rounds of a
+//! [`crate::solve_with_rowgen`] loop: however many retries fire, the total
+//! wall-clock spent stays bounded.
+
+use crate::simplex::SimplexOptions;
+use std::time::{Duration, Instant};
+
+/// Work bound for one solve call (including its internal retries).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveBudget {
+    /// Hard cap on simplex iterations per attempt. `0` means automatic
+    /// (`50 · (rows + cols) + 10_000`).
+    pub max_iters: usize,
+    /// Absolute wall-clock deadline; crossing it surfaces
+    /// [`crate::LpError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+}
+
+impl SolveBudget {
+    /// No iteration cap beyond the automatic one, no deadline.
+    pub fn unlimited() -> Self {
+        SolveBudget::default()
+    }
+
+    /// Budget with an explicit per-attempt iteration cap.
+    pub fn with_max_iters(max_iters: usize) -> Self {
+        SolveBudget { max_iters, deadline: None }
+    }
+
+    /// Budget whose deadline is `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        SolveBudget { max_iters: 0, deadline: Some(Instant::now() + timeout) }
+    }
+
+    /// Add a deadline `timeout` from now to this budget.
+    pub fn and_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Whether the deadline has already passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Simplex options carrying this budget (other knobs at defaults).
+    pub fn simplex_options(&self) -> SimplexOptions {
+        SimplexOptions { max_iters: self.max_iters, deadline: self.deadline, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = SolveBudget::unlimited();
+        assert!(!b.expired());
+        assert_eq!(b.max_iters, 0);
+    }
+
+    #[test]
+    fn elapsed_deadline_reports_expired() {
+        let b = SolveBudget { max_iters: 0, deadline: Some(Instant::now()) };
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn future_deadline_not_expired() {
+        let b = SolveBudget::with_timeout(Duration::from_secs(3600));
+        assert!(!b.expired());
+        assert!(b.simplex_options().deadline.is_some());
+    }
+}

@@ -12,6 +12,9 @@ pub enum LpError {
     Unbounded,
     /// The iteration limit was exceeded before reaching optimality.
     IterationLimit,
+    /// The wall-clock deadline of the [`crate::SolveBudget`] passed before
+    /// reaching optimality.
+    DeadlineExceeded,
     /// A variable id or row id referenced a different model.
     BadIndex(String),
     /// Inconsistent bounds (`lb > ub`) on a variable or a malformed row.
@@ -26,6 +29,7 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "model is infeasible"),
             LpError::Unbounded => write!(f, "objective is unbounded"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::DeadlineExceeded => write!(f, "solve deadline exceeded"),
             LpError::BadIndex(s) => write!(f, "bad index: {s}"),
             LpError::BadModel(s) => write!(f, "bad model: {s}"),
             LpError::Numerical(s) => write!(f, "numerical failure: {s}"),

@@ -17,6 +17,11 @@
 //!   for violated rows, add them, and warm-start the next solve. Used for the
 //!   large scenario-bundled LPs (Teavar, CVaR variants) whose full row set
 //!   would dwarf the active set.
+//! * [`budget`] / [`robust`] / [`fault`] — the robustness layer: iteration +
+//!   wall-clock [`SolveBudget`]s, the [`solve_robust`] escalation ladder
+//!   (warm → cold refactor → Bland safe mode → bound perturbation) with an
+//!   auditable [`SolveReport`], and a deterministic [`FaultInjector`] for
+//!   chaos-testing every failure path.
 //!
 //! The solver is exact up to a configurable feasibility/optimality tolerance
 //! (default `1e-7`) and is deliberately dense in the basis dimension: every
@@ -40,16 +45,22 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod error;
+pub mod fault;
 pub mod mip;
 pub mod model;
+pub mod robust;
 pub mod rowgen;
 pub mod simplex;
 pub mod sparse;
 
+pub use budget::SolveBudget;
 pub use error::LpError;
+pub use fault::{FaultInjector, FaultKind};
 pub use mip::{solve_mip, MipOptions, MipResult, MipStatus};
 pub use model::{Cmp, Model, RowId, Sense, VarId};
+pub use robust::{solve_robust, RobustOptions, RobustOutcome, Rung, RungAttempt, SolveReport};
 pub use rowgen::{solve_with_rowgen, RowGenOptions, RowGenResult, RowSpec};
 pub use simplex::{Basis, SimplexOptions, Solution, SolveStatus};
 

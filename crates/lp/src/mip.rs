@@ -203,7 +203,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, LpError>
         match branch {
             None => {
                 // Integer feasible: candidate incumbent.
-                let better = incumbent.as_ref().map_or(true, |(_, inc)| obj_min < *inc);
+                let better = incumbent.as_ref().is_none_or(|(_, inc)| obj_min < *inc);
                 if better {
                     incumbent = Some((sol.x.clone(), obj_min));
                 }
@@ -228,7 +228,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, LpError>
                         .collect();
                     if let Some(h) = solve_node(&mut work, &fixes)? {
                         let hobj = to_min(h.objective);
-                        if incumbent.as_ref().map_or(true, |(_, inc)| hobj < *inc) {
+                        if incumbent.as_ref().is_none_or(|(_, inc)| hobj < *inc) {
                             incumbent = Some((h.x.clone(), hobj));
                         }
                     }

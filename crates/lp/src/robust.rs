@@ -1,0 +1,356 @@
+//! Escalating solve ladder with an auditable report.
+//!
+//! [`solve_robust`] wraps the simplex in four escalation rungs, each one
+//! trading speed for numerical robustness:
+//!
+//! 1. **Warm** — the caller's options and warm basis, default
+//!    refactorization interval. Identical to the first attempt of
+//!    [`crate::Model::solve`].
+//! 2. **ColdRefactor** — cold start, refactorize every 8 pivots. Identical
+//!    to the internal retry of [`crate::Model::solve`], so a zero-fault
+//!    `solve_robust` reproduces `solve` bit for bit.
+//! 3. **BlandSafe** — cold start, Bland's rule from the first pivot, tight
+//!    refactorization. Cycle-proof; the slowest exact mode.
+//! 4. **Perturb** — solve a copy with deterministically jittered finite
+//!    bounds/RHS to break pathological degeneracy, then re-solve the
+//!    original warm from the perturbed basis. If even the clean-up solve
+//!    fails, the perturbed solution itself is returned (feasible for the
+//!    original up to the perturbation magnitude).
+//!
+//! Escalation happens only on retryable errors ([`LpError::Numerical`],
+//! [`LpError::IterationLimit`]); verdicts about the model itself
+//! (infeasible, unbounded, malformed) and deadline exhaustion are terminal
+//! immediately. Every attempt — its rung and its error, if any — is
+//! recorded in the returned [`SolveReport`], which is what lets the online
+//! controller's degradation chain (and the chaos tests) assert exactly
+//! which rung rescued a faulted solve.
+
+use crate::budget::SolveBudget;
+use crate::error::LpError;
+use crate::model::Model;
+use crate::simplex::{solve_single, Basis, SimplexOptions, Solution};
+
+/// One rung of the escalation ladder, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Caller options + warm basis (the normal fast path).
+    Warm,
+    /// Cold start with a short refactorization interval.
+    ColdRefactor,
+    /// Cold start under forced Bland's rule (safe mode).
+    BlandSafe,
+    /// Bound-perturbation retry.
+    Perturb,
+}
+
+impl Rung {
+    /// All rungs in escalation order.
+    pub const ALL: [Rung; 4] = [Rung::Warm, Rung::ColdRefactor, Rung::BlandSafe, Rung::Perturb];
+}
+
+/// One attempted rung and how it ended.
+#[derive(Debug, Clone)]
+pub struct RungAttempt {
+    /// Which rung ran.
+    pub rung: Rung,
+    /// `None` if the attempt succeeded; the error otherwise.
+    pub error: Option<LpError>,
+}
+
+/// Audit trail of a [`solve_robust`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SolveReport {
+    /// Every attempt, in order.
+    pub attempts: Vec<RungAttempt>,
+}
+
+impl SolveReport {
+    /// The rung that produced the returned solution, if the solve succeeded.
+    pub fn succeeded_rung(&self) -> Option<Rung> {
+        self.attempts.iter().find(|a| a.error.is_none()).map(|a| a.rung)
+    }
+
+    /// Whether the solve succeeded only after at least one failed attempt.
+    pub fn recovered(&self) -> bool {
+        self.succeeded_rung().is_some() && self.attempts.len() > 1
+    }
+
+    /// Errors of the failed attempts, in order.
+    pub fn errors(&self) -> impl Iterator<Item = &LpError> {
+        self.attempts.iter().filter_map(|a| a.error.as_ref())
+    }
+
+    fn record(&mut self, rung: Rung, error: Option<LpError>) {
+        self.attempts.push(RungAttempt { rung, error });
+    }
+}
+
+/// Options for [`solve_robust`].
+#[derive(Debug, Clone, Copy)]
+pub struct RobustOptions {
+    /// Iteration/deadline budget. The deadline is absolute, so it bounds
+    /// the whole ladder, not each rung.
+    pub budget: SolveBudget,
+    /// Relative magnitude of the rung-4 bound/RHS jitter.
+    pub perturb: f64,
+}
+
+impl Default for RobustOptions {
+    fn default() -> Self {
+        RobustOptions { budget: SolveBudget::unlimited(), perturb: 1e-7 }
+    }
+}
+
+/// Result of [`solve_robust`]: the solve outcome plus its audit trail.
+#[derive(Debug, Clone)]
+pub struct RobustOutcome {
+    /// The solution, or the terminal error if every rung failed.
+    pub result: Result<Solution, LpError>,
+    /// What it took to get there.
+    pub report: SolveReport,
+}
+
+fn retryable(e: &LpError) -> bool {
+    matches!(e, LpError::Numerical(_) | LpError::IterationLimit)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic relative jitter in `[-1, 1] · scale`.
+fn jitter(state: &mut u64, scale: f64) -> f64 {
+    let u = (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 52) as f64) - 1.0;
+    u * scale
+}
+
+/// A copy of `model` with every finite bound and RHS entry nudged by a
+/// deterministic relative epsilon (absolute epsilon for zero entries).
+fn perturbed_model(model: &Model, scale: f64) -> Model {
+    let mut p = model.clone();
+    let mut state = 0x5EED_F1E5_0BAD_CA5E_u64;
+    let nudge = |v: f64, state: &mut u64| {
+        if !v.is_finite() {
+            return v;
+        }
+        let rel = jitter(state, scale);
+        if v == 0.0 {
+            rel
+        } else {
+            v * (1.0 + rel)
+        }
+    };
+    for j in 0..p.lb.len() {
+        let (lo, hi) = (nudge(p.lb[j], &mut state), nudge(p.ub[j], &mut state));
+        // Never let the jitter cross the bounds.
+        p.lb[j] = lo.min(hi);
+        p.ub[j] = lo.max(hi);
+    }
+    for r in 0..p.rhs.len() {
+        p.rhs[r] = nudge(p.rhs[r], &mut state);
+    }
+    p
+}
+
+/// Solve `model` through the escalation ladder described in the module
+/// docs, recording every attempt in the returned report.
+pub fn solve_robust(
+    model: &Model,
+    opts: &RobustOptions,
+    warm: Option<&Basis>,
+) -> RobustOutcome {
+    let mut report = SolveReport::default();
+    let base = opts.budget.simplex_options();
+
+    // Rung 1: warm, default interval (== first attempt of Model::solve).
+    match solve_single(model, &base, warm) {
+        Ok(sol) => {
+            report.record(Rung::Warm, None);
+            return RobustOutcome { result: Ok(sol), report };
+        }
+        Err(e) => {
+            let terminal = !retryable(&e);
+            report.record(Rung::Warm, Some(e.clone()));
+            if terminal {
+                return RobustOutcome { result: Err(e), report };
+            }
+        }
+    }
+
+    // Rung 2: cold start, refactorize every 8 (== Model::solve's retry).
+    let cold = SimplexOptions { refactor_every: Some(8), ..base };
+    match solve_single(model, &cold, None) {
+        Ok(sol) => {
+            report.record(Rung::ColdRefactor, None);
+            return RobustOutcome { result: Ok(sol), report };
+        }
+        Err(e) => {
+            let terminal = !retryable(&e);
+            report.record(Rung::ColdRefactor, Some(e.clone()));
+            if terminal {
+                return RobustOutcome { result: Err(e), report };
+            }
+        }
+    }
+
+    // Rung 3: Bland safe mode.
+    let bland = SimplexOptions { force_bland: true, refactor_every: Some(8), ..base };
+    match solve_single(model, &bland, None) {
+        Ok(sol) => {
+            report.record(Rung::BlandSafe, None);
+            return RobustOutcome { result: Ok(sol), report };
+        }
+        Err(e) => {
+            let terminal = !retryable(&e);
+            report.record(Rung::BlandSafe, Some(e.clone()));
+            if terminal {
+                return RobustOutcome { result: Err(e), report };
+            }
+        }
+    }
+
+    // Rung 4: perturbation retry.
+    let perturbed = perturbed_model(model, opts.perturb);
+    match solve_single(&perturbed, &bland, None) {
+        Ok(psol) => {
+            // Clean-up: re-solve the *original* model warm from the
+            // perturbed basis; usually a handful of pivots.
+            match solve_single(model, &cold, Some(&psol.basis)) {
+                Ok(sol) => {
+                    report.record(Rung::Perturb, None);
+                    RobustOutcome { result: Ok(sol), report }
+                }
+                Err(_) => {
+                    // The perturbed solution is feasible for the original
+                    // up to O(perturb); better than nothing, still Ok.
+                    report.record(Rung::Perturb, None);
+                    RobustOutcome { result: Ok(psol), report }
+                }
+            }
+        }
+        Err(e) => {
+            report.record(Rung::Perturb, Some(e.clone()));
+            RobustOutcome { result: Err(e), report }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{self, FaultInjector, FaultKind};
+    use crate::model::Sense;
+
+    /// max x + y s.t. x + y <= 4, x <= 3, y <= 3. Optimum 4.
+    fn small_model() -> Model {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, 3.0, 1.0);
+        let y = m.add_var("y", 0.0, 3.0, 1.0);
+        m.add_row_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        m
+    }
+
+    #[test]
+    fn clean_solve_uses_first_rung() {
+        let m = small_model();
+        let out = solve_robust(&m, &RobustOptions::default(), None);
+        let sol = out.result.expect("clean solve");
+        assert!((sol.objective - 4.0).abs() < 1e-9);
+        assert_eq!(out.report.succeeded_rung(), Some(Rung::Warm));
+        assert!(!out.report.recovered());
+    }
+
+    #[test]
+    fn single_fault_recovers_on_second_rung() {
+        let m = small_model();
+        let (out, used) =
+            fault::with_injector(FaultInjector::new().at(0, FaultKind::Numerical), || {
+                solve_robust(&m, &RobustOptions::default(), None)
+            });
+        assert_eq!(used.injected().len(), 1);
+        let sol = out.result.expect("recovered solve");
+        assert!((sol.objective - 4.0).abs() < 1e-9);
+        assert_eq!(out.report.succeeded_rung(), Some(Rung::ColdRefactor));
+        assert!(out.report.recovered());
+    }
+
+    #[test]
+    fn two_faults_reach_bland_rung() {
+        let m = small_model();
+        let inj = FaultInjector::new()
+            .at(0, FaultKind::IterationLimit)
+            .at(1, FaultKind::Numerical);
+        let (out, _) = fault::with_injector(inj, || {
+            solve_robust(&m, &RobustOptions::default(), None)
+        });
+        assert!((out.result.expect("recovered").objective - 4.0).abs() < 1e-9);
+        assert_eq!(out.report.succeeded_rung(), Some(Rung::BlandSafe));
+    }
+
+    #[test]
+    fn three_faults_reach_perturb_rung() {
+        let m = small_model();
+        let inj = FaultInjector::new()
+            .at(0, FaultKind::Numerical)
+            .at(1, FaultKind::SingularBasis)
+            .at(2, FaultKind::Numerical);
+        let (out, _) = fault::with_injector(inj, || {
+            solve_robust(&m, &RobustOptions::default(), None)
+        });
+        let sol = out.result.expect("perturb rung should rescue");
+        assert!((sol.objective - 4.0).abs() < 1e-4);
+        assert_eq!(out.report.succeeded_rung(), Some(Rung::Perturb));
+        assert_eq!(out.report.errors().count(), 3);
+    }
+
+    #[test]
+    fn persistent_fault_is_terminal_with_full_report() {
+        let m = small_model();
+        let (out, used) = fault::with_injector(FaultInjector::always(FaultKind::Numerical), || {
+            solve_robust(&m, &RobustOptions::default(), None)
+        });
+        assert!(matches!(out.result, Err(LpError::Numerical(_))));
+        // All four rungs tried (perturb polls twice only on success paths).
+        assert_eq!(out.report.attempts.len(), 4);
+        assert_eq!(out.report.succeeded_rung(), None);
+        assert!(used.injected().len() >= 4);
+    }
+
+    #[test]
+    fn deadline_fault_is_terminal_immediately() {
+        let m = small_model();
+        let (out, _) =
+            fault::with_injector(FaultInjector::new().at(0, FaultKind::DeadlineExceeded), || {
+                solve_robust(&m, &RobustOptions::default(), None)
+            });
+        assert!(matches!(out.result, Err(LpError::DeadlineExceeded)));
+        assert_eq!(out.report.attempts.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_is_terminal_immediately() {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_row_ge(&[(x, 1.0)], 2.0);
+        let out = solve_robust(&m, &RobustOptions::default(), None);
+        assert!(matches!(out.result, Err(LpError::Infeasible)));
+        assert_eq!(out.report.attempts.len(), 1);
+    }
+
+    #[test]
+    fn perturbed_model_stays_close() {
+        let m = small_model();
+        let p = perturbed_model(&m, 1e-7);
+        for j in 0..m.lb.len() {
+            assert!((m.lb[j] - p.lb[j]).abs() <= 1e-6);
+            assert!(p.lb[j] <= p.ub[j]);
+        }
+        // Deterministic: same perturbation every time.
+        let p2 = perturbed_model(&m, 1e-7);
+        assert_eq!(p.rhs, p2.rhs);
+    }
+}

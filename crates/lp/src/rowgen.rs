@@ -9,9 +9,10 @@
 //! basis — converging to the optimum of the full model because every added
 //! row is a valid constraint of it.
 
+use crate::budget::SolveBudget;
 use crate::error::LpError;
 use crate::model::{Cmp, Model, VarId};
-use crate::simplex::{Basis, SimplexOptions, Solution};
+use crate::simplex::{Basis, Solution};
 
 /// A row produced by a violation oracle.
 #[derive(Debug, Clone)]
@@ -43,11 +44,15 @@ pub struct RowGenOptions {
     /// Cap on rows added per round (the oracle may return more; the most
     /// violated are kept). `0` means unlimited.
     pub rows_per_round: usize,
+    /// Work budget. The iteration cap applies per solve; the deadline (an
+    /// absolute instant) bounds the whole loop — a round that starts past
+    /// it fails with [`LpError::DeadlineExceeded`].
+    pub budget: SolveBudget,
 }
 
 impl Default for RowGenOptions {
     fn default() -> Self {
-        RowGenOptions { max_rounds: 200, rows_per_round: 0 }
+        RowGenOptions { max_rounds: 200, rows_per_round: 0, budget: SolveBudget::unlimited() }
     }
 }
 
@@ -79,10 +84,13 @@ pub fn solve_with_rowgen<F>(
 where
     F: FnMut(&Solution) -> Vec<RowSpec>,
 {
-    let simplex_opts = SimplexOptions::default();
+    let simplex_opts = opts.budget.simplex_options();
     let mut warm: Option<Basis> = None;
     let mut rows_added = 0usize;
     for round in 1..=opts.max_rounds {
+        if opts.budget.expired() {
+            return Err(LpError::DeadlineExceeded);
+        }
         let sol = model.solve_with(&simplex_opts, warm.as_ref())?;
         let mut violated = oracle(&sol);
         if violated.is_empty() {
@@ -168,7 +176,7 @@ mod tests {
         let mut m = Model::new(Sense::Max);
         let x = m.add_var("x", 0.0, 100.0, 1.0);
         let mut revealed = false;
-        let opts = RowGenOptions { max_rounds: 10, rows_per_round: 1 };
+        let opts = RowGenOptions { max_rounds: 10, rows_per_round: 1, ..Default::default() };
         let res = solve_with_rowgen(&mut m, &opts, |sol| {
             if sol.x[x.index()] > 3.0 + 1e-9 && !revealed {
                 revealed = true;

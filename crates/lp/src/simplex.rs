@@ -48,17 +48,21 @@ pub enum SolveStatus {
 }
 
 /// Options controlling a simplex run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SimplexOptions {
     /// Hard cap on simplex iterations (phases combined). `0` means automatic
     /// (`50 · (rows + cols) + 10_000`).
     pub max_iters: usize,
-}
-
-impl Default for SimplexOptions {
-    fn default() -> Self {
-        SimplexOptions { max_iters: 0 }
-    }
+    /// Absolute wall-clock deadline. Checked once per pivot; crossing it
+    /// aborts the solve with [`LpError::DeadlineExceeded`].
+    pub deadline: Option<std::time::Instant>,
+    /// Use Bland's rule from the first pivot and never leave it. Slower but
+    /// cycle-proof; the safe-mode rung of [`crate::solve_robust`].
+    pub force_bland: bool,
+    /// Pivots between basis refactorizations for the first attempt. `None`
+    /// means the default interval; small values trade speed for numerical
+    /// robustness.
+    pub refactor_every: Option<usize>,
 }
 
 /// A basis snapshot usable for warm-starting a later solve.
@@ -228,6 +232,19 @@ enum PhaseEnd {
     IterLimit,
 }
 
+/// Per-attempt pivot-loop controls shared by the primal and dual phases.
+#[derive(Clone, Copy)]
+struct PhaseCtl {
+    deadline: Option<std::time::Instant>,
+    force_bland: bool,
+}
+
+impl PhaseCtl {
+    fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    }
+}
+
 /// Run simplex iterations with the given cost vector until optimality.
 fn run_phase(
     w: &mut Work,
@@ -235,17 +252,21 @@ fn run_phase(
     iter_budget: &mut usize,
     total_iters: &mut usize,
     refactor_every: usize,
+    ctl: PhaseCtl,
 ) -> Result<PhaseEnd, LpError> {
     let m = w.m;
     let mut y = vec![0.0; m];
     let mut ftran = vec![0.0; m];
     let mut cb = vec![0.0; m];
     let mut degen_run = 0usize;
-    let mut bland = false;
+    let mut bland = ctl.force_bland;
 
     loop {
         if *iter_budget == 0 {
             return Ok(PhaseEnd::IterLimit);
+        }
+        if ctl.past_deadline() {
+            return Err(LpError::DeadlineExceeded);
         }
         *iter_budget -= 1;
         *total_iters += 1;
@@ -348,7 +369,7 @@ fn run_phase(
             return Ok(PhaseEnd::Unbounded);
         }
 
-        // Track degeneracy and toggle Bland's rule.
+        // Track degeneracy and toggle Bland's rule (sticky in safe mode).
         if t_best < 1e-10 {
             degen_run += 1;
             if degen_run > DEGEN_SWITCH {
@@ -356,7 +377,7 @@ fn run_phase(
             }
         } else {
             degen_run = 0;
-            bland = false;
+            bland = ctl.force_bland;
         }
 
         match leave {
@@ -428,6 +449,7 @@ fn run_dual_phase(
     iter_budget: &mut usize,
     total_iters: &mut usize,
     refactor_every: usize,
+    ctl: PhaseCtl,
 ) -> Result<DualEnd, LpError> {
     let m = w.m;
     let mut y = vec![0.0; m];
@@ -439,6 +461,9 @@ fn run_dual_phase(
         if *iter_budget == 0 {
             return Ok(DualEnd::IterLimit);
         }
+        if ctl.past_deadline() {
+            return Err(LpError::DeadlineExceeded);
+        }
         *iter_budget -= 1;
         *total_iters += 1;
 
@@ -448,10 +473,10 @@ fn run_dual_phase(
             let below = w.lb[j] - w.xb[i];
             let above = w.xb[i] - w.ub[j];
             if below > FEAS_TOL {
-                if leave.map_or(true, |(_, v, _)| below > v) {
+                if leave.is_none_or(|(_, v, _)| below > v) {
                     leave = Some((i, below, true));
                 }
-            } else if above > FEAS_TOL && leave.map_or(true, |(_, v, _)| above > v) {
+            } else if above > FEAS_TOL && leave.is_none_or(|(_, v, _)| above > v) {
                 leave = Some((i, above, false));
             }
         }
@@ -497,7 +522,7 @@ fn run_dual_phase(
             }
             let d = cost[j] - w.col_dot(j, &y);
             let ratio = (d / alpha).abs();
-            if enter.map_or(true, |(_, best, a)| {
+            if enter.is_none_or(|(_, best, a)| {
                 ratio < best - 1e-12 || (ratio <= best + 1e-12 && alpha.abs() > a.abs())
             }) {
                 enter = Some((j, ratio, alpha));
@@ -575,10 +600,21 @@ pub fn solve(
     opts: &SimplexOptions,
     warm: Option<&Basis>,
 ) -> Result<Solution, LpError> {
-    match solve_attempt(model, opts, warm, REFACTOR_EVERY) {
+    match solve_attempt(model, opts, warm, opts.refactor_every.unwrap_or(REFACTOR_EVERY)) {
         Err(LpError::Numerical(_)) => solve_attempt(model, opts, None, 8),
         other => other,
     }
+}
+
+/// Run exactly one solve attempt, with no internal numerical retry. The
+/// escalation ladder in [`crate::solve_robust`] uses this so each rung is
+/// one attempt (and one fault-injection poll).
+pub(crate) fn solve_single(
+    model: &Model,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, LpError> {
+    solve_attempt(model, opts, warm, opts.refactor_every.unwrap_or(REFACTOR_EVERY))
 }
 
 fn solve_attempt(
@@ -587,6 +623,13 @@ fn solve_attempt(
     warm: Option<&Basis>,
     refactor_every: usize,
 ) -> Result<Solution, LpError> {
+    if let Some(kind) = crate::fault::poll() {
+        return Err(kind.to_error());
+    }
+    let ctl = PhaseCtl { deadline: opts.deadline, force_bland: opts.force_bland };
+    if ctl.past_deadline() {
+        return Err(LpError::DeadlineExceeded);
+    }
     let n = model.num_vars();
     let m = model.num_rows();
     for j in 0..n {
@@ -690,10 +733,13 @@ fn solve_attempt(
                             &mut budget,
                             &mut total_iters,
                             refactor_every,
+                            ctl,
                         ) {
                             Ok(DualEnd::Feasible) => warm_ok = true,
                             Ok(DualEnd::PrimalInfeasible) => return Err(LpError::Infeasible),
                             Ok(DualEnd::IterLimit) => {}
+                            // A cold start cannot beat an expired clock.
+                            Err(e @ LpError::DeadlineExceeded) => return Err(e),
                             Err(_) => {} // fall back to a cold start
                         }
                     }
@@ -758,7 +804,7 @@ fn solve_attempt(
             for j in n + m..w.ncols() {
                 cost1[j] = 1.0;
             }
-            match run_phase(&mut w, &cost1, &mut budget, &mut total_iters, refactor_every)? {
+            match run_phase(&mut w, &cost1, &mut budget, &mut total_iters, refactor_every, ctl)? {
                 PhaseEnd::Optimal => {}
                 PhaseEnd::Unbounded => {
                     return Err(LpError::Numerical("phase 1 unbounded".into()))
@@ -786,7 +832,7 @@ fn solve_attempt(
         c.resize(w.ncols(), 0.0);
         c
     };
-    match run_phase(&mut w, &cost2, &mut budget, &mut total_iters, refactor_every)? {
+    match run_phase(&mut w, &cost2, &mut budget, &mut total_iters, refactor_every, ctl)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
         PhaseEnd::IterLimit => return Err(LpError::IterationLimit),

@@ -222,7 +222,7 @@ mod tests {
         assert!(set
             .scenarios
             .iter()
-            .any(|s| s.cap_factor.iter().any(|&c| c == 0.5)));
+            .any(|s| s.cap_factor.contains(&0.5)));
     }
 
     #[test]

@@ -141,24 +141,24 @@ mod tests {
     #[test]
     fn dead_tunnels_are_fixed_to_zero() {
         let (inst, set) = sprint_instance();
-        // Find a scenario with a failure.
-        let scen = set
-            .scenarios
-            .iter()
-            .find(|s| !s.failed_units.is_empty())
-            .expect("some failure scenario");
-        let alloc = ScenAlloc::new(&inst, scen, Sense::Max);
+        // Check every failure scenario: any tunnel crossing a dead link
+        // must have its variable pinned to zero. Which scenarios actually
+        // kill a tunnel depends on the (seeded) pair subsample, so require
+        // only that the whole sweep exercises at least one dead tunnel.
         let mut saw_dead = false;
-        for p in 0..inst.num_pairs() {
-            for (t, &alive) in alloc.tunnel_alive[0][p].iter().enumerate() {
-                if !alive {
-                    saw_dead = true;
-                    let (lb, ub) = alloc.model.bounds(alloc.x[0][p][t]);
-                    assert_eq!((lb, ub), (0.0, 0.0));
+        for scen in set.scenarios.iter().filter(|s| !s.failed_units.is_empty()) {
+            let alloc = ScenAlloc::new(&inst, scen, Sense::Max);
+            for p in 0..inst.num_pairs() {
+                for (t, &alive) in alloc.tunnel_alive[0][p].iter().enumerate() {
+                    if !alive {
+                        saw_dead = true;
+                        let (lb, ub) = alloc.model.bounds(alloc.x[0][p][t]);
+                        assert_eq!((lb, ub), (0.0, 0.0));
+                    }
                 }
             }
         }
-        assert!(saw_dead, "expected some dead tunnel in a failure scenario");
+        assert!(saw_dead, "expected some dead tunnel across the failure scenarios");
     }
 
     #[test]

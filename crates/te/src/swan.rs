@@ -69,7 +69,7 @@ pub fn swan_throughput_scenario(inst: &Instance, scen: &Scenario) -> Vec<f64> {
 /// Per-scenario SWAN-Maxmin: classes in priority order; within a class,
 /// iterative water-filling on served fraction.
 pub fn swan_maxmin_scenario(inst: &Instance, scen: &Scenario) -> Vec<f64> {
-    per_class_sequential(inst, scen, |alloc, k| maxmin_one_class(alloc, k))
+    per_class_sequential(inst, scen, maxmin_one_class)
 }
 
 /// Run `allocate(class)` for each class in priority order, reducing link

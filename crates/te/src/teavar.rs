@@ -86,7 +86,7 @@ pub fn teavar_design(inst: &Instance, set: &ScenarioSet, beta: f64) -> TeavarDes
     // Tunnel liveness per scenario, reused by the oracle.
     let dead_masks: Vec<Vec<bool>> = set.scenarios.iter().map(|s| s.dead_mask()).collect();
 
-    let opts = RowGenOptions { max_rounds: 300, rows_per_round: 50 };
+    let opts = RowGenOptions { max_rounds: 300, rows_per_round: 50, ..Default::default() };
     let res = solve_with_rowgen(&mut m, &opts, |sol| {
         let mut rows = Vec::new();
         let a_val = sol.value(alpha);
@@ -222,7 +222,7 @@ pub fn teavar_design_bundled(inst: &Instance, set: &ScenarioSet, beta: f64) -> T
         }
     }
     let sol = m
-        .solve_with(&flexile_lp::SimplexOptions { max_iters: 5_000_000 }, None)
+        .solve_with(&flexile_lp::SimplexOptions { max_iters: 5_000_000, ..Default::default() }, None)
         .expect("bundled Teavar LP failed");
     let split = lambda
         .iter()

@@ -193,7 +193,7 @@ mod tests {
         let t = diamond();
         let mut banned = vec![false; t.num_links()];
         banned[4] = true; // ban 0-3 direct
-        let p = shortest_path(&t, NodeId(0), NodeId(3), &banned, &vec![false; 4]).unwrap();
+        let p = shortest_path(&t, NodeId(0), NodeId(3), &banned, &[false; 4]).unwrap();
         assert_eq!(p.len(), 2);
     }
 
@@ -204,8 +204,8 @@ mod tests {
             &t,
             NodeId(0),
             NodeId(3),
-            &vec![false; 2],
-            &vec![false; 4]
+            &[false; 2],
+            &[false; 4]
         )
         .is_none());
     }

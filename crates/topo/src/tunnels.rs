@@ -72,7 +72,7 @@ fn greedy_disjoint(candidates: &[Path], chosen: &mut Vec<Path>, want: usize) {
             }
             let shared: usize = chosen.iter().map(|p| p.shared_links(c)).sum();
             let key = (shared, c.len(), i);
-            if best.map_or(true, |b| (key.0, key.1, key.2) < b) {
+            if best.is_none_or(|b| (key.0, key.1, key.2) < b) {
                 best = Some(key);
             }
         }

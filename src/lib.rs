@@ -60,10 +60,11 @@ pub use flexile_traffic as traffic;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use flexile_core::{
-        effective_betas, flexile_losses, online_allocate, solve_flexile, solve_ip,
-        FlexileDesign, FlexileOptions, IpOptions,
+        effective_betas, flexile_losses, flexile_losses_with_report, online_allocate,
+        online_allocate_robust, solve_flexile, solve_ip, DegradationLevel, FlexileDesign,
+        FlexileOptions, IpOptions, OnlineOutcome,
     };
-    pub use flexile_emu::{emulate_scheme, EmuConfig};
+    pub use flexile_emu::{emulate_scheme, run_chaos, ChaosReport, ChaosTrace, EmuConfig};
     pub use flexile_metrics::{flow_loss, perc_loss, scen_loss, Cdf, LossMatrix};
     pub use flexile_scenario::{
         enumerate_scenarios, link_failure_probs, EnumOptions, FailureUnit, Scenario, ScenarioSet,

@@ -1,0 +1,199 @@
+//! Chaos suite: inject every solver fault kind at every solve-call index
+//! of the online controller and check the degradation chain's contract —
+//! the controller never panics, always returns losses in `[0, 1]`, and the
+//! `SolveReport`s / `DegradationLevel` record exactly which fallback rung
+//! produced the allocation. Runs on the paper's Fig. 1 triangle and a
+//! Table-2 topology.
+
+use flexile::core::online::carry_forward_losses;
+use flexile::lp::fault::{self, FaultInjector};
+use flexile::lp::{FaultKind, LpError, Rung};
+use flexile::prelude::*;
+use flexile::scenario::model::link_units;
+
+fn fig1() -> (Instance, ScenarioSet, FlexileDesign) {
+    let topo = Topology::new("fig1", 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+    let pairs = vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))];
+    let tunnels = TunnelSet::build(&topo, &pairs, TunnelClass::SingleClass);
+    let inst = Instance {
+        topo,
+        pairs,
+        classes: vec![ClassConfig::single()],
+        tunnels: vec![tunnels],
+        demands: vec![vec![0.8, 0.8]],
+    };
+    let units = link_units(&inst.topo, &[0.01, 0.01, 0.01]);
+    let set = enumerate_scenarios(
+        &units,
+        3,
+        &EnumOptions { prob_cutoff: 0.0, max_scenarios: 4, coverage_target: 2.0 },
+    );
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    (inst, set, design)
+}
+
+fn sprint() -> (Instance, ScenarioSet, FlexileDesign) {
+    let topo = topology_by_name("Sprint").expect("Sprint in Table 2");
+    let probs = link_failure_probs(topo.num_links(), 0.8, 0.001, 99);
+    let units = link_units(&topo, &probs);
+    let set = enumerate_scenarios(
+        &units,
+        topo.num_links(),
+        &EnumOptions { prob_cutoff: 1e-7, max_scenarios: 6, coverage_target: 1.1 },
+    );
+    let inst = Instance::single_class(topo, 99, 0.6, Some(8));
+    let design = solve_flexile(&inst, &set, &FlexileOptions::default());
+    (inst, set, design)
+}
+
+fn columns(design: &FlexileDesign, q: usize) -> (Vec<bool>, Vec<f64>) {
+    let nf = design.critical.len();
+    let critical = (0..nf).map(|f| design.critical[f][q]).collect();
+    let promised = (0..nf).map(|f| design.offline_loss[f][q]).collect();
+    (critical, promised)
+}
+
+fn assert_valid_losses(inst: &Instance, losses: &[f64]) {
+    assert_eq!(losses.len(), inst.num_flows());
+    for (f, &l) in losses.iter().enumerate() {
+        assert!(l.is_finite() && (0.0..=1.0).contains(&l), "flow {f} loss {l}");
+    }
+}
+
+/// The full acceptance sweep for one scenario: count the zero-fault solve
+/// attempts, then inject each fault kind at every attempt index in turn.
+fn sweep_scenario(inst: &Instance, set: &ScenarioSet, design: &FlexileDesign, q: usize) {
+    let scen = &set.scenarios[q];
+    let (critical, promised) = columns(design, q);
+
+    // Zero-fault runs are deterministic and bit-identical: the robust path
+    // must reproduce the plain controller exactly, attempt for attempt.
+    let base = online_allocate(inst, scen, &critical, &promised);
+    assert_eq!(base, online_allocate(inst, scen, &critical, &promised));
+    fault::reset_attempts();
+    let nominal = online_allocate_robust(inst, scen, &critical, &promised, None);
+    let n = fault::attempts();
+    assert!(n >= 1, "scenario {q} performed no solve");
+    assert_eq!(nominal.level, DegradationLevel::None, "scenario {q} not nominal");
+    assert_eq!(nominal.losses, base, "robust path diverged from plain path");
+    assert_valid_losses(inst, &nominal.losses);
+
+    // Whether the scenario has a mandatory (water-filling) solve stage; the
+    // final attempt is always the optional residual fill.
+    let has_mandatory = n > 1;
+
+    for kind in FaultKind::ALL {
+        for idx in 0..n {
+            let inj = FaultInjector::new().at(idx, kind);
+            let (out, used) = fault::with_injector(inj, || {
+                online_allocate_robust(inst, scen, &critical, &promised, Some(&base))
+            });
+            assert_eq!(
+                used.injected().len(),
+                1,
+                "scenario {q}: fault {kind:?} at attempt {idx} never fired"
+            );
+            assert_valid_losses(inst, &out.losses);
+
+            match kind {
+                FaultKind::DeadlineExceeded => {
+                    // Terminal: the ladder must not escalate past it.
+                    assert!(!out.errors.is_empty());
+                    let faulted = out
+                        .reports
+                        .iter()
+                        .find(|r| {
+                            r.attempts
+                                .iter()
+                                .any(|a| matches!(a.error, Some(LpError::DeadlineExceeded)))
+                        })
+                        .expect("deadline fault must appear in a report");
+                    assert_eq!(faulted.attempts.len(), 1, "deadline escalated the ladder");
+                    if idx == n - 1 {
+                        // The residual fill is optional: skipped, not
+                        // degraded. It only ever adds bandwidth, so the
+                        // water-filling losses it leaves behind are at
+                        // worst higher, never lower.
+                        assert_eq!(out.level, DegradationLevel::SolverRecovered);
+                        for f in 0..inst.num_flows() {
+                            assert!(
+                                out.losses[f] + 1e-9 >= base[f],
+                                "flow {f}: skipping residual lowered loss"
+                            );
+                        }
+                    } else {
+                        // A mandatory stage died: frozen-share carry-forward.
+                        assert_eq!(out.level, DegradationLevel::FrozenCarryForward);
+                        assert_eq!(out.losses, carry_forward_losses(inst, scen, &base));
+                    }
+                }
+                _ => {
+                    // Retryable: one fault is absorbed by the next rung.
+                    assert_eq!(
+                        out.level,
+                        DegradationLevel::SolverRecovered,
+                        "scenario {q}: {kind:?} at {idx}"
+                    );
+                    assert!(out.errors.is_empty(), "recovered run must report no errors");
+                    let recovered: Vec<_> =
+                        out.reports.iter().filter(|r| r.recovered()).collect();
+                    assert_eq!(recovered.len(), 1, "exactly one solve needed the ladder");
+                    assert_eq!(recovered[0].succeeded_rung(), Some(Rung::ColdRefactor));
+                }
+            }
+        }
+
+        if has_mandatory {
+            // Persistent fault, no carry state: last-resort proportional share.
+            let (out, _) = fault::with_injector(FaultInjector::always(kind), || {
+                online_allocate_robust(inst, scen, &critical, &promised, None)
+            });
+            assert_valid_losses(inst, &out.losses);
+            assert_eq!(out.level, DegradationLevel::ProportionalShare, "{kind:?}");
+            assert!(!out.errors.is_empty());
+        }
+    }
+}
+
+#[test]
+fn fig1_every_fault_kind_at_every_attempt_index() {
+    let (inst, set, design) = fig1();
+    for q in 0..set.scenarios.len() {
+        sweep_scenario(&inst, &set, &design, q);
+    }
+}
+
+#[test]
+fn sprint_every_fault_kind_at_every_attempt_index() {
+    let (inst, set, design) = sprint();
+    // All-alive plus the most likely failure scenario keep tier-1 fast.
+    sweep_scenario(&inst, &set, &design, 0);
+    sweep_scenario(&inst, &set, &design, 1);
+}
+
+#[test]
+fn fig1_post_analysis_is_fault_free_and_identical() {
+    let (inst, set, design) = fig1();
+    let plain = flexile_losses(&inst, &set, &design);
+    let (robust, report) = flexile_losses_with_report(&inst, &set, &design);
+    assert_eq!(report.worst(), DegradationLevel::None);
+    assert!(report.errors.is_empty());
+    assert_eq!(plain.loss, robust.loss, "reporting path changed allocations");
+}
+
+#[test]
+fn fig1_chaos_trace_with_random_faults_never_violates_bounds() {
+    let (inst, set, design) = fig1();
+    let trace = ChaosTrace::new()
+        .fail(0, 0)
+        .fail(1, 1)
+        .recover(2, 0)
+        .recover(3, 1)
+        .fail(4, 2)
+        .recover(5, 2);
+    let report = run_chaos(&inst, &set, &design, &trace, |t| {
+        Some(FaultInjector::random(0xC0FFEE ^ t, 0.3, FaultKind::Numerical))
+    });
+    assert_eq!(report.steps.len(), 6);
+    report.check_invariants(&inst).unwrap();
+}

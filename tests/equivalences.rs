@@ -49,7 +49,7 @@ fn scenloss_zero_below_saturation() {
 /// scenario set built from SRLG units must kill whole groups atomically.
 #[test]
 fn srlg_units_fail_atomically() {
-    let topo = Topology::new("sq", 4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+    let _topo = Topology::new("sq", 4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
     // Links 0 and 2 share fate; links 1 and 3 are independent.
     let units = vec![
         FailureUnit::srlg(&[LinkId(0), LinkId(2)], 0.01),

@@ -48,7 +48,7 @@ fn fig3_teavar_stuck_at_half() {
     let (inst, set) = fig1();
     let r = flexile::te::teavar::teavar(&inst, &set, 0.99);
     let pl = percloss(&r, &set, 0.99);
-    assert!(pl >= 0.45 && pl <= 0.55, "Teavar PercLoss = {pl}");
+    assert!((0.45..=0.55).contains(&pl), "Teavar PercLoss = {pl}");
 }
 
 #[test]
