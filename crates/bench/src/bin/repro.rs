@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N]
-//!                    [--threads N] [--limit N] [--full]
+//!                    [--threads N] [--limit N] [--full] [--quiet]
+//!                    [--obs DIR]
 //!
 //! experiments:
 //!   motivation   §3 / Propositions 1-2 on the Fig. 1 triangle
@@ -25,14 +26,26 @@
 //!
 //! Default caps keep runs laptop-sized; `--full` removes them (hours).
 //! All randomness is seeded: identical arguments give identical output.
+//!
+//! `--quiet` silences the stderr progress lines (figure data on stdout is
+//! untouched). `--obs DIR` enables the telemetry sink and, per experiment,
+//! writes into DIR:
+//!
+//! * `BENCH_<exp>.json`        machine-readable perf record (wall time,
+//!   solver counters, histogram stats)
+//! * `BENCH_<exp>_trace.json`  Chrome `trace_event` file (`chrome://tracing`
+//!   or <https://ui.perfetto.dev>)
+//! * `BENCH_<exp>_events.jsonl` one JSON object per event/counter/histogram
 
 use flexile_bench::{figs_ibm, figs_motivation, figs_perf, figs_sweep, ExpConfig};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
     experiment: String,
     cfg: ExpConfig,
     limit: usize,
+    obs: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     let mut limit = 20usize;
     let mut experiment: Option<String> = None;
     let mut full = false;
+    let mut obs: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -77,6 +91,11 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
             }
             "--full" => full = true,
+            "--quiet" => cfg.quiet = true,
+            "--obs" => {
+                obs = Some(PathBuf::from(next_val(i, "--obs")?));
+                i += 1;
+            }
             "--help" | "-h" => return Err(String::new()),
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string())
@@ -89,7 +108,7 @@ fn parse_args() -> Result<Args, String> {
         cfg = cfg.full();
     }
     let experiment = experiment.ok_or_else(String::new)?;
-    Ok(Args { experiment, cfg, limit })
+    Ok(Args { experiment, cfg, limit, obs })
 }
 
 fn cfg_limit_check(limit: &mut usize, s: &str) -> Result<(), String> {
@@ -103,7 +122,7 @@ fn cfg_limit_check(limit: &mut usize, s: &str) -> Result<(), String> {
 fn usage() {
     eprintln!(
         "usage: repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N] \
-         [--threads N] [--limit N] [--full]\n\
+         [--threads N] [--limit N] [--full] [--quiet] [--obs DIR]\n\
          experiments: motivation table2 fig5 fig6 fig9a fig9b fig9c fig10 fig11 \
          fig12 fig13 fig14 fig15 fig18 summary all"
     );
@@ -126,18 +145,108 @@ fn run(experiment: &str, cfg: &ExpConfig, limit: usize) -> bool {
         "fig15" => figs_perf::run_fig15(cfg, limit),
         "fig18" => figs_sweep::run_fig18(cfg),
         "summary" => flexile_bench::summary::run_summary(cfg),
-        "all" => {
-            for e in [
-                "motivation", "table2", "fig5", "fig6", "fig9a", "fig9b", "fig9c", "fig10",
-                "fig11", "fig12", "fig13", "fig14", "fig15", "fig18",
-            ] {
-                eprintln!("== {e} ==");
-                run(e, cfg, limit);
-            }
-        }
         _ => return false,
     }
     true
+}
+
+/// Run one experiment (or `all`), optionally under the telemetry sink with
+/// per-experiment artifacts written into `obs`. `Ok(false)` means the
+/// experiment name is unknown; `Err` means an artifact failed to write.
+fn run_traced(
+    experiment: &str,
+    cfg: &ExpConfig,
+    limit: usize,
+    obs: Option<&Path>,
+) -> std::io::Result<bool> {
+    if experiment == "all" {
+        for e in [
+            "motivation", "table2", "fig5", "fig6", "fig9a", "fig9b", "fig9c", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig18",
+        ] {
+            cfg.progress(format!("== {e} =="));
+            run_traced(e, cfg, limit, obs)?;
+        }
+        return Ok(true);
+    }
+    let Some(dir) = obs else {
+        return Ok(run(experiment, cfg, limit));
+    };
+
+    flexile_obs::enable();
+    let t0 = std::time::Instant::now();
+    let mut span = flexile_obs::span("bench.experiment", "bench")
+        .field("experiment", experiment)
+        .field("seed", cfg.seed)
+        .field("max_scenarios", cfg.max_scenarios)
+        .field("threads", cfg.threads);
+    let ok = run(experiment, cfg, limit);
+    span.set("ok", ok);
+    drop(span);
+    flexile_obs::disable();
+    let t = flexile_obs::drain();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    if ok {
+        write_artifacts(dir, experiment, cfg, wall_ms, &t)?;
+        if !cfg.quiet {
+            eprint!("{}", t.summary());
+        }
+    }
+    Ok(ok)
+}
+
+/// Write `BENCH_<exp>.json` (perf record), the Chrome trace and the JSONL
+/// event stream for one experiment run.
+fn write_artifacts(
+    dir: &Path,
+    experiment: &str,
+    cfg: &ExpConfig,
+    wall_ms: f64,
+    t: &flexile_obs::Telemetry,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("BENCH_{experiment}.json")), perf_record(experiment, cfg, wall_ms, t))?;
+    std::fs::write(dir.join(format!("BENCH_{experiment}_trace.json")), t.to_chrome_trace())?;
+    std::fs::write(dir.join(format!("BENCH_{experiment}_events.jsonl")), t.to_jsonl())?;
+    Ok(())
+}
+
+/// The machine-readable perf record: run identity, wall time, all solver
+/// counters, and summary stats of every histogram. Hand-rolled JSON —
+/// names are static identifiers, so no escaping is needed.
+fn perf_record(experiment: &str, cfg: &ExpConfig, wall_ms: f64, t: &flexile_obs::Telemetry) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"experiment\":\"{experiment}\",\"seed\":{},\"max_scenarios\":{},\
+         \"threads\":{},\"wall_ms\":{wall_ms:.3},\"events\":{},\"counters\":{{",
+        cfg.seed,
+        cfg.max_scenarios,
+        cfg.threads,
+        t.events.len()
+    );
+    for (i, (name, v)) in t.counters.iter().enumerate() {
+        let _ = write!(s, "{}\"{name}\":{v}", if i > 0 { "," } else { "" });
+    }
+    s.push_str("},\"hists\":{");
+    for (i, (name, h)) in t.hists.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\"{name}\":{{\"count\":{},\"sum\":{:.3},\"mean\":{:.3},\
+             \"p50\":{:.3},\"p99\":{:.3},\"max\":{:.3}}}",
+            if i > 0 { "," } else { "" },
+            h.count(),
+            h.sum(),
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max()
+        );
+    }
+    s.push_str("}}\n");
+    s
 }
 
 fn main() -> ExitCode {
@@ -151,10 +260,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if !run(&args.experiment, &args.cfg, args.limit) {
-        eprintln!("error: unknown experiment '{}'", args.experiment);
-        usage();
-        return ExitCode::from(2);
+    match run_traced(&args.experiment, &args.cfg, args.limit, args.obs.as_deref()) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("error: unknown experiment '{}'", args.experiment);
+            usage();
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: writing telemetry artifacts: {e}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }

@@ -19,7 +19,7 @@ pub fn run_fig5(cfg: &ExpConfig) {
     let (mut inst, set) = single_class_setup("IBM", cfg);
     let beta = single_beta(&inst, &set);
     inst.classes[0].beta = beta;
-    eprintln!("# IBM single-class, beta = {beta:.6}");
+    cfg.progress(format!("# IBM single-class, beta = {beta:.6}"));
 
     let schemes: Vec<SchemeResult> = vec![
         teavar::teavar(&inst, &set, beta),
@@ -154,7 +154,7 @@ pub fn run_fig9c(cfg: &ExpConfig) {
         }
     }
     let pcc = pearson_correlation(&model_flat, &emu_flat);
-    eprintln!("# Pearson correlation model-vs-emulation: {pcc:.6}");
+    cfg.progress(format!("# Pearson correlation model-vs-emulation: {pcc:.6}"));
     println!("emu_minus_model_loss_pct,cdf");
     let cdf = Cdf::from_samples(&diffs);
     for p in cdf.points() {

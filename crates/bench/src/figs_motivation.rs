@@ -41,6 +41,9 @@ pub fn fig1_scenarios() -> ScenarioSet {
 
 /// Print the motivation table: PercLoss at 99% for every scheme on Fig. 1.
 pub fn run_motivation() {
+    let _t = flexile_obs::span("bench.topology", "bench")
+        .field("figure", "motivation")
+        .field("topology", "Fig1Triangle");
     let inst = fig1_instance();
     let set = fig1_scenarios();
     let flows = [0usize, 1];

@@ -33,6 +33,10 @@ pub fn run_fig14(cfg: &ExpConfig) {
         ..cfg.clone()
     };
     for name in crate::IP_TOPOLOGIES {
+        ip_cfg.progress(format!("# fig14 {name}"));
+        let _t = flexile_obs::span("bench.topology", "bench")
+            .field("figure", "fig14")
+            .field("topology", name);
         let (inst, set) = two_class_setup(name, &ip_cfg);
         let ip = solve_ip(&inst, &set, &IpOptions::default());
         let design = solve_flexile(&inst, &set, &flexile_opts(&ip_cfg));
@@ -105,6 +109,11 @@ pub fn collect_timings(cfg: &ExpConfig, limit: usize) -> Vec<SolveTiming> {
 /// Time one topology's offline solves.
 fn time_one(cfg: &ExpConfig, e: &flexile_topo::ZooEntry) -> SolveTiming {
     {
+        cfg.progress(format!("# fig15 {} ({} links)", e.name, e.edges));
+        let mut span = flexile_obs::span("bench.topology", "bench")
+            .field("figure", "fig15")
+            .field("topology", e.name)
+            .field("links", e.edges);
         let (inst, set) = two_class_setup(e.name, cfg);
         let t0 = Instant::now();
         let _ = solve_flexile(&inst, &set, &flexile_timing_opts(cfg));
@@ -143,6 +152,13 @@ fn time_one(cfg: &ExpConfig, e: &flexile_topo::ZooEntry) -> SolveTiming {
                 None
             }
         };
+        span.set("flexile_ms", flexile.as_secs_f64() * 1e3);
+        if let Some(d) = ip {
+            span.set("ip_ms", d.as_secs_f64() * 1e3);
+        }
+        if let Some(d) = teavar {
+            span.set("teavar_ms", d.as_secs_f64() * 1e3);
+        }
         SolveTiming { name: e.name, links: e.edges, flexile, ip, teavar }
     }
 }

@@ -23,6 +23,10 @@ fn sweep_names(limit: usize) -> Vec<&'static str> {
 pub fn run_fig10(cfg: &ExpConfig, limit: usize) {
     println!("topology,scheme,class,percloss_pct");
     for name in sweep_names(limit) {
+        cfg.progress(format!("# fig10 {name}"));
+        let _t = flexile_obs::span("bench.topology", "bench")
+            .field("figure", "fig10")
+            .field("topology", name);
         let (inst, set) = two_class_setup(name, cfg);
         let betas = flexile_core::effective_betas(&inst, &set);
         let design = solve_flexile(&inst, &set, &flexile_opts(cfg));
@@ -52,6 +56,10 @@ pub fn run_fig11(cfg: &ExpConfig, limit: usize) {
     ];
     println!("topology,scheme,percloss_pct");
     for name in sweep_names(limit) {
+        cfg.progress(format!("# fig11 {name}"));
+        let _t = flexile_obs::span("bench.topology", "bench")
+            .field("figure", "fig11")
+            .field("topology", name);
         let (mut inst, set) = single_class_setup(name, cfg);
         let beta = set.max_feasible_beta(&inst.tunnels[0]);
         inst.classes[0].beta = beta;
@@ -90,6 +98,10 @@ pub fn run_fig12(cfg: &ExpConfig, limit: usize) {
     // the tension Fig. 12 studies.
     let cfg = &ExpConfig { target_mlu: cfg.target_mlu.max(0.7), ..cfg.clone() };
     for name in sweep_names(limit) {
+        cfg.progress(format!("# fig12 {name}"));
+        let _t = flexile_obs::span("bench.topology", "bench")
+            .field("figure", "fig12")
+            .field("topology", name);
         let (mut inst, set) = rich_setup(name, cfg);
         // Richly connected topologies stay connected in every sampled
         // scenario, so the max feasible target nearly equals the sampled
@@ -166,6 +178,10 @@ pub fn run_fig18(cfg: &ExpConfig) {
     println!("topology,scheme,max_scale");
     for name in crate::FIG18_TOPOLOGIES {
         for scheme in ["Flexile", "SWAN-Maxmin"] {
+            let _t = flexile_obs::span("bench.topology", "bench")
+                .field("figure", "fig18")
+                .field("topology", name)
+                .field("scheme", scheme);
             let scale = max_scale(name, cfg, scheme);
             println!("{name},{scheme},{scale:.2}");
         }

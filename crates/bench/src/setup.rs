@@ -26,6 +26,9 @@ pub struct ExpConfig {
     pub prob_cutoff: f64,
     /// Worker threads for Flexile's subproblems.
     pub threads: usize,
+    /// Suppress progress/diagnostic lines on stderr (`--quiet`). Figure
+    /// data on stdout is unaffected.
+    pub quiet: bool,
 }
 
 impl Default for ExpConfig {
@@ -37,6 +40,7 @@ impl Default for ExpConfig {
             max_scenarios: 300,
             prob_cutoff: 1e-6,
             threads: 8,
+            quiet: false,
         }
     }
 }
@@ -68,6 +72,13 @@ impl ExpConfig {
     /// Per-topology traffic seed.
     fn traffic_seed(&self, name: &str) -> u64 {
         self.seed ^ zoo::fnv1a(name)
+    }
+
+    /// Emit a progress/diagnostic line to stderr unless `--quiet`.
+    pub fn progress(&self, msg: impl AsRef<str>) {
+        if !self.quiet {
+            eprintln!("{}", msg.as_ref());
+        }
     }
 }
 

@@ -33,7 +33,8 @@ pub fn run_summary(cfg: &ExpConfig) {
         println!("{},{},{}", r.name, pct(pl), pct(slo));
     };
     let design = solve_flexile(&inst, &set, &FlexileOptions { threads: cfg.threads, ..Default::default() });
-    report(&flexile_core::flexile_losses(&inst, &set, &design));
+    let (fx, deg) = flexile_core::flexile_losses_with_report(&inst, &set, &design);
+    report(&fx);
     report(&mcf::scen_best(&inst, &set));
     report(&mcf::smore(&inst, &set));
     report(&teavar::teavar(&inst, &set, beta));
@@ -44,6 +45,22 @@ pub fn run_summary(cfg: &ExpConfig) {
         // SWAN on the single-class instance (priority machinery idles).
         report(&swan::swan_maxmin(&inst, &set));
         report(&swan::swan_throughput(&inst, &set));
+    }
+
+    // Whether any Flexile loss column came from a fallback allocation
+    // rather than the nominal online LP (see flexile_core::online).
+    let c = deg.counts();
+    println!(
+        "# flexile online degradation: nominal={} solver_recovered={} \
+         frozen_carry_forward={} proportional_share={} (of {} scenarios)",
+        c[0],
+        c[1],
+        c[2],
+        c[3],
+        deg.levels.len()
+    );
+    if let Some((q, err)) = deg.errors.first() {
+        println!("# first terminal solver error: scenario {q}: {err}");
     }
 }
 

@@ -132,6 +132,10 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
     let nf = inst.num_flows();
     let nq = set.scenarios.len();
     let betas = crate::effective_betas(inst, set);
+    let mut solve_span = flexile_obs::span("flexile.solve", "flexile")
+        .field("flows", nf)
+        .field("scenarios", nq)
+        .field("classes", inst.num_classes());
 
     // Connectivity matrix: z may be 1 only where the flow has a live tunnel.
     let allowed: Vec<Vec<bool>> = (0..nf)
@@ -179,8 +183,12 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
     type Incumbent = (f64, Vec<Vec<bool>>, Vec<Vec<f64>>, Vec<f64>);
     let mut best: Option<Incumbent> = None;
     let mut iterations = Vec::new();
+    // Lower bound from the most recent master solve; the master lags the
+    // subproblems by one iteration, so iteration 1 has no bound yet.
+    let mut last_bound: Option<f64> = None;
 
     for it in 1..=opts.max_iterations {
+        let mut iter_span = flexile_obs::span("flexile.iteration", "flexile").field("iteration", it);
         // Decide which scenarios need solving.
         let todo: Vec<usize> = (0..nq)
             .filter(|&q| {
@@ -195,6 +203,11 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             })
             .collect();
         let pruned = nq - todo.len();
+        iter_span.set("solved", todo.len());
+        iter_span.set("pruned", pruned);
+        let sub_span = flexile_obs::span("flexile.subproblems", "flexile")
+            .field("iteration", it)
+            .field("solved", todo.len());
 
         // Solve subproblems (parallel chunks, each with its own template).
         // Workers never panic on solver failures: each scenario's result is
@@ -226,6 +239,8 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
                                 // thread's scenarios for warm starts.
                                 let mut tmpl: Option<SubproblemTemplate> = None;
                                 for &q in chunk {
+                                    let _sq = flexile_obs::span("flexile.subproblem", "flexile")
+                                        .field("scenario", q);
                                     let scen = &set.scenarios[q];
                                     let zq: Vec<bool> = (0..nf).map(|f| z_ref[f][q]).collect();
                                     let sol = match loss_ub_ref {
@@ -269,8 +284,11 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             }
         }
 
+        drop(sub_span);
+
         // Failed scenarios: pessimistic losses this iteration, no cut, and
         // no column cache so the pruning logic re-solves them next round.
+        flexile_obs::add("flexile.scenarios_retried", failed.len() as u64);
         for &q in &failed {
             cached_loss[q] = None;
             cached_value[q] = f64::INFINITY;
@@ -292,6 +310,7 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             cached_value[q] = sol.value;
             last_z_col[q] = Some(col);
             if sol.value > 1e-9 {
+                flexile_obs::add("flexile.cuts_added", 1);
                 pool.push(q, sol.cut);
             }
         }
@@ -316,9 +335,19 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
         if best.as_ref().is_none_or(|(bp, ..)| penalty < *bp - 1e-12) {
             best = Some((penalty, z.clone(), loss_matrix, alphas));
         }
+        let upper = best.as_ref().map(|b| b.0).unwrap_or(penalty);
+        if flexile_obs::enabled() {
+            let mut ev = flexile_obs::event("flexile.bound_gap", "flexile")
+                .field("iteration", it)
+                .field("upper", upper);
+            if let Some(lb) = last_bound {
+                ev = ev.field("lower", lb);
+            }
+            drop(ev); // recorded on drop
+        }
         iterations.push(IterationStat {
             iteration: it,
-            penalty: best.as_ref().map(|b| b.0).unwrap_or(penalty),
+            penalty: upper,
             solved: todo.len(),
             pruned,
         });
@@ -327,7 +356,10 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             break;
         }
         // Master proposes the next z.
-        let (next_z, _bound) = solve_master(inst, set, &pool, &allowed, &betas, &z, &opts.master);
+        let master_span = flexile_obs::span("flexile.master", "flexile").field("iteration", it);
+        let (next_z, bound) = solve_master(inst, set, &pool, &allowed, &betas, &z, &opts.master);
+        drop(master_span);
+        last_bound = Some(bound);
         if next_z == z {
             break; // converged
         }
@@ -335,6 +367,8 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
     }
 
     let (penalty, critical, offline_loss, alpha) = best.expect("at least one iteration ran");
+    solve_span.set("penalty", penalty);
+    solve_span.set("iterations", iterations.len());
     FlexileDesign { critical, alpha, penalty, betas, offline_loss, iterations }
 }
 

@@ -65,6 +65,18 @@ pub enum DegradationLevel {
     ProportionalShare,
 }
 
+impl DegradationLevel {
+    /// Stable lower-case name, used in telemetry events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationLevel::None => "none",
+            DegradationLevel::SolverRecovered => "solver_recovered",
+            DegradationLevel::FrozenCarryForward => "frozen_carry_forward",
+            DegradationLevel::ProportionalShare => "proportional_share",
+        }
+    }
+}
+
 /// Outcome of one online allocation: the loss vector plus how it was made.
 #[derive(Debug, Clone)]
 pub struct OnlineOutcome {
@@ -118,7 +130,7 @@ pub fn online_allocate_robust(
     carry: Option<&[f64]>,
 ) -> OnlineOutcome {
     let mut reports = Vec::new();
-    match lp_allocate(inst, scen, critical, promised_loss, &mut reports) {
+    let out = match lp_allocate(inst, scen, critical, promised_loss, &mut reports) {
         Ok((losses, skipped)) => {
             let recovered = reports.iter().any(|r| r.recovered());
             let level = if recovered || !skipped.is_empty() {
@@ -137,7 +149,18 @@ pub fn online_allocate_robust(
             };
             OnlineOutcome { losses, level, reports, errors: vec![e] }
         }
+    };
+    if out.level != DegradationLevel::None && flexile_obs::enabled() {
+        let mut ev = flexile_obs::event("online.degradation", "online")
+            .field("level", out.level.name())
+            .field("solves", out.reports.len())
+            .field("solver_iterations", out.reports.iter().map(SolveReport::total_iterations).sum::<usize>());
+        if let Some(e) = out.errors.first() {
+            ev = ev.field("error", e.to_string());
+        }
+        drop(ev); // recorded on drop
     }
+    out
 }
 
 /// The nominal LP pipeline. `Ok` carries the losses plus the terminal

@@ -46,6 +46,16 @@ pub enum Rung {
 impl Rung {
     /// All rungs in escalation order.
     pub const ALL: [Rung; 4] = [Rung::Warm, Rung::ColdRefactor, Rung::BlandSafe, Rung::Perturb];
+
+    /// Stable lower-case name, used in telemetry events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Warm => "warm",
+            Rung::ColdRefactor => "cold_refactor",
+            Rung::BlandSafe => "bland_safe",
+            Rung::Perturb => "perturb",
+        }
+    }
 }
 
 /// One attempted rung and how it ended.
@@ -55,6 +65,11 @@ pub struct RungAttempt {
     pub rung: Rung,
     /// `None` if the attempt succeeded; the error otherwise.
     pub error: Option<LpError>,
+    /// Simplex iterations the attempt used (0 when the solve failed before
+    /// reporting a count — e.g. an injected fault or a deadline hit).
+    pub iterations: usize,
+    /// Wall-clock time the attempt took, success or not.
+    pub elapsed: std::time::Duration,
 }
 
 /// Audit trail of a [`solve_robust`] call.
@@ -80,8 +95,36 @@ impl SolveReport {
         self.attempts.iter().filter_map(|a| a.error.as_ref())
     }
 
-    fn record(&mut self, rung: Rung, error: Option<LpError>) {
-        self.attempts.push(RungAttempt { rung, error });
+    /// Total simplex iterations across every attempt, including the
+    /// successful one.
+    pub fn total_iterations(&self) -> usize {
+        self.attempts.iter().map(|a| a.iterations).sum()
+    }
+
+    /// Total wall-clock time across every attempt.
+    pub fn total_elapsed(&self) -> std::time::Duration {
+        self.attempts.iter().map(|a| a.elapsed).sum()
+    }
+
+    fn record(
+        &mut self,
+        rung: Rung,
+        error: Option<LpError>,
+        iterations: usize,
+        elapsed: std::time::Duration,
+    ) {
+        if flexile_obs::enabled() {
+            let mut ev = flexile_obs::event("lp.rung", "lp")
+                .field("rung", rung.name())
+                .field("ok", error.is_none())
+                .field("iterations", iterations)
+                .field("elapsed_us", elapsed.as_micros() as u64);
+            if let Some(e) = &error {
+                ev = ev.field("error", e.to_string());
+            }
+            drop(ev); // recorded on drop
+        }
+        self.attempts.push(RungAttempt { rung, error, iterations, elapsed });
     }
 }
 
@@ -167,14 +210,15 @@ pub fn solve_robust(
     let base = opts.budget.simplex_options();
 
     // Rung 1: warm, default interval (== first attempt of Model::solve).
+    let t0 = std::time::Instant::now();
     match solve_single(model, &base, warm) {
         Ok(sol) => {
-            report.record(Rung::Warm, None);
+            report.record(Rung::Warm, None, sol.iterations, t0.elapsed());
             return RobustOutcome { result: Ok(sol), report };
         }
         Err(e) => {
             let terminal = !retryable(&e);
-            report.record(Rung::Warm, Some(e.clone()));
+            report.record(Rung::Warm, Some(e.clone()), 0, t0.elapsed());
             if terminal {
                 return RobustOutcome { result: Err(e), report };
             }
@@ -183,14 +227,15 @@ pub fn solve_robust(
 
     // Rung 2: cold start, refactorize every 8 (== Model::solve's retry).
     let cold = SimplexOptions { refactor_every: Some(8), ..base };
+    let t0 = std::time::Instant::now();
     match solve_single(model, &cold, None) {
         Ok(sol) => {
-            report.record(Rung::ColdRefactor, None);
+            report.record(Rung::ColdRefactor, None, sol.iterations, t0.elapsed());
             return RobustOutcome { result: Ok(sol), report };
         }
         Err(e) => {
             let terminal = !retryable(&e);
-            report.record(Rung::ColdRefactor, Some(e.clone()));
+            report.record(Rung::ColdRefactor, Some(e.clone()), 0, t0.elapsed());
             if terminal {
                 return RobustOutcome { result: Err(e), report };
             }
@@ -199,41 +244,49 @@ pub fn solve_robust(
 
     // Rung 3: Bland safe mode.
     let bland = SimplexOptions { force_bland: true, refactor_every: Some(8), ..base };
+    let t0 = std::time::Instant::now();
     match solve_single(model, &bland, None) {
         Ok(sol) => {
-            report.record(Rung::BlandSafe, None);
+            report.record(Rung::BlandSafe, None, sol.iterations, t0.elapsed());
             return RobustOutcome { result: Ok(sol), report };
         }
         Err(e) => {
             let terminal = !retryable(&e);
-            report.record(Rung::BlandSafe, Some(e.clone()));
+            report.record(Rung::BlandSafe, Some(e.clone()), 0, t0.elapsed());
             if terminal {
                 return RobustOutcome { result: Err(e), report };
             }
         }
     }
 
-    // Rung 4: perturbation retry.
+    // Rung 4: perturbation retry. Iterations/elapsed cover both the
+    // perturbed solve and the clean-up re-solve.
     let perturbed = perturbed_model(model, opts.perturb);
+    let t0 = std::time::Instant::now();
     match solve_single(&perturbed, &bland, None) {
         Ok(psol) => {
             // Clean-up: re-solve the *original* model warm from the
             // perturbed basis; usually a handful of pivots.
             match solve_single(model, &cold, Some(&psol.basis)) {
                 Ok(sol) => {
-                    report.record(Rung::Perturb, None);
+                    report.record(
+                        Rung::Perturb,
+                        None,
+                        psol.iterations + sol.iterations,
+                        t0.elapsed(),
+                    );
                     RobustOutcome { result: Ok(sol), report }
                 }
                 Err(_) => {
                     // The perturbed solution is feasible for the original
                     // up to O(perturb); better than nothing, still Ok.
-                    report.record(Rung::Perturb, None);
+                    report.record(Rung::Perturb, None, psol.iterations, t0.elapsed());
                     RobustOutcome { result: Ok(psol), report }
                 }
             }
         }
         Err(e) => {
-            report.record(Rung::Perturb, Some(e.clone()));
+            report.record(Rung::Perturb, Some(e.clone()), 0, t0.elapsed());
             RobustOutcome { result: Err(e), report }
         }
     }
@@ -339,6 +392,34 @@ mod tests {
         let out = solve_robust(&m, &RobustOptions::default(), None);
         assert!(matches!(out.result, Err(LpError::Infeasible)));
         assert_eq!(out.report.attempts.len(), 1);
+    }
+
+    #[test]
+    fn success_path_records_iterations_and_elapsed() {
+        let m = small_model();
+        let out = solve_robust(&m, &RobustOptions::default(), None);
+        let sol = out.result.expect("clean solve");
+        assert_eq!(out.report.attempts.len(), 1);
+        let a = &out.report.attempts[0];
+        assert_eq!(a.iterations, sol.iterations);
+        assert!(a.iterations > 0, "a real solve takes pivots");
+        assert_eq!(out.report.total_iterations(), sol.iterations);
+        // Elapsed is recorded on the success path too (not only escalation).
+        assert!(out.report.total_elapsed() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn failed_attempts_still_record_elapsed() {
+        let m = small_model();
+        let (out, _) =
+            fault::with_injector(FaultInjector::new().at(0, FaultKind::Numerical), || {
+                solve_robust(&m, &RobustOptions::default(), None)
+            });
+        let report = out.report;
+        assert_eq!(report.attempts.len(), 2);
+        assert_eq!(report.attempts[0].iterations, 0, "faulted attempt has no count");
+        assert!(report.attempts[1].iterations > 0);
+        assert_eq!(report.total_iterations(), report.attempts[1].iterations);
     }
 
     #[test]

@@ -185,6 +185,10 @@ impl<'a> Work<'a> {
 
     /// Refactorize the basis inverse from the current basis column set.
     fn refactorize(&mut self) -> Result<(), LpError> {
+        flexile_obs::add("lp.refactorizations", 1);
+        if self.pivots_since_refactor > 0 {
+            flexile_obs::observe("lp.eta_chain_len", self.pivots_since_refactor as f64);
+        }
         let m = self.m;
         // Move the inverse out so the inversion closure can borrow `self`
         // immutably for column access.
@@ -373,6 +377,9 @@ fn run_phase(
         if t_best < 1e-10 {
             degen_run += 1;
             if degen_run > DEGEN_SWITCH {
+                if !bland {
+                    flexile_obs::add("lp.bland_activations", 1);
+                }
                 bland = true;
             }
         } else {
@@ -413,10 +420,11 @@ fn run_phase(
                     // their bounds, the eta-updated path went numerically
                     // astray; surface it so the caller can retry in safe
                     // mode rather than "optimize" an infeasible iterate.
-                    if w.primal_infeas() > 1e-6 {
+                    let drift = w.primal_infeas();
+                    flexile_obs::observe("lp.refactor_drift", drift);
+                    if drift > 1e-6 {
                         return Err(LpError::Numerical(format!(
-                            "feasibility drift {:.3e} detected at refactorization",
-                            w.primal_infeas()
+                            "feasibility drift {drift:.3e} detected at refactorization"
                         )));
                     }
                 }
@@ -632,6 +640,7 @@ fn solve_attempt(
     }
     let n = model.num_vars();
     let m = model.num_rows();
+    let mut solve_span = flexile_obs::span("lp.solve", "lp").field("rows", m).field("cols", n);
     for j in 0..n {
         if model.lb[j] > model.ub[j] + 1e-12 {
             return Err(LpError::BadModel(format!(
@@ -727,6 +736,8 @@ fn solve_attempt(
                         c
                     };
                     if dual_feasible(&w, &cost_now) {
+                        flexile_obs::add("lp.dual_restarts", 1);
+                        let dual_from = total_iters;
                         match run_dual_phase(
                             &mut w,
                             &cost_now,
@@ -742,10 +753,15 @@ fn solve_attempt(
                             Err(e @ LpError::DeadlineExceeded) => return Err(e),
                             Err(_) => {} // fall back to a cold start
                         }
+                        flexile_obs::add("lp.pivots.dual", (total_iters - dual_from) as u64);
                     }
                 }
             }
         }
+    }
+
+    if warm.is_some() {
+        flexile_obs::add(if warm_ok { "lp.warm.hit" } else { "lp.warm.miss" }, 1);
     }
 
     if !warm_ok {
@@ -804,6 +820,7 @@ fn solve_attempt(
             for j in n + m..w.ncols() {
                 cost1[j] = 1.0;
             }
+            let p1_from = total_iters;
             match run_phase(&mut w, &cost1, &mut budget, &mut total_iters, refactor_every, ctl)? {
                 PhaseEnd::Optimal => {}
                 PhaseEnd::Unbounded => {
@@ -811,6 +828,7 @@ fn solve_attempt(
                 }
                 PhaseEnd::IterLimit => return Err(LpError::IterationLimit),
             }
+            flexile_obs::add("lp.pivots.phase1", (total_iters - p1_from) as u64);
             let infeas = w.objective_of(&cost1);
             if infeas > 1e-6 {
                 return Err(LpError::Infeasible);
@@ -832,11 +850,13 @@ fn solve_attempt(
         c.resize(w.ncols(), 0.0);
         c
     };
+    let p2_from = total_iters;
     match run_phase(&mut w, &cost2, &mut budget, &mut total_iters, refactor_every, ctl)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
         PhaseEnd::IterLimit => return Err(LpError::IterationLimit),
     }
+    flexile_obs::add("lp.pivots.phase2", (total_iters - p2_from) as u64);
 
     // Numerical hygiene: refactorize once and verify.
     w.refactorize()?;
@@ -870,6 +890,8 @@ fn solve_attempt(
         y.iter_mut().for_each(|v| *v = -*v);
     }
 
+    flexile_obs::observe("lp.solve_us", solve_span.elapsed_us() as f64);
+    solve_span.set("iterations", total_iters);
     let objective = model.eval_objective(&x);
     let basis = Basis {
         basis: w.basis.clone(),

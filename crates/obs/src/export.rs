@@ -1,0 +1,226 @@
+//! Exporters for a drained [`Telemetry`] snapshot.
+//!
+//! Three formats, all hand-rolled (no serde in this offline workspace):
+//!
+//! - [`to_jsonl`] — one JSON object per line; the machine-readable stream
+//!   validated by the CI schema check (see DESIGN.md §6).
+//! - [`to_chrome_trace`] — Chrome `trace_event` JSON (`{"traceEvents":
+//!   [...]}`), loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//! - [`summary`] — a human-readable table of counters and histogram
+//!   percentiles for terminal output.
+
+use crate::{Event, EventKind, Telemetry, Value};
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a [`Value`] as a JSON value. Non-finite floats become `null`
+/// (JSON has no representation for them).
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::U64(x) => x.to_string(),
+        Value::I64(x) => x.to_string(),
+        Value::F64(x) => {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_string()
+            }
+        }
+        Value::Bool(x) => x.to_string(),
+        Value::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+fn json_fields(fields: &[(&'static str, Value)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(k), json_value(v));
+    }
+    out.push('}');
+    out
+}
+
+fn jsonl_event(e: &Event) -> String {
+    let kind = match e.kind {
+        EventKind::Span => "span",
+        EventKind::Instant => "instant",
+    };
+    format!(
+        "{{\"type\":\"event\",\"name\":\"{}\",\"cat\":\"{}\",\"kind\":\"{}\",\"ts_us\":{},\"dur_us\":{},\"tid\":{},\"fields\":{}}}",
+        json_escape(e.name),
+        json_escape(e.cat),
+        kind,
+        e.ts_us,
+        e.dur_us,
+        e.tid,
+        json_fields(&e.fields),
+    )
+}
+
+/// Export as JSONL: one JSON object per line. Event lines have
+/// `"type":"event"`; counter lines `"type":"counter"` with `name`/`value`;
+/// histogram lines `"type":"hist"` with `name`, `count`, `sum`, `min`,
+/// `max`, and `p50`/`p90`/`p99` (non-finite stats rendered as `null`).
+pub fn to_jsonl(t: &Telemetry) -> String {
+    let mut out = String::new();
+    for e in &t.events {
+        out.push_str(&jsonl_event(e));
+        out.push('\n');
+    }
+    for (name, v) in &t.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            v
+        );
+    }
+    for (name, h) in &t.hists {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            json_escape(name),
+            h.count(),
+            json_value(&Value::F64(h.sum())),
+            json_value(&Value::F64(h.min())),
+            json_value(&Value::F64(h.max())),
+            json_value(&Value::F64(h.quantile(0.50))),
+            json_value(&Value::F64(h.quantile(0.90))),
+            json_value(&Value::F64(h.quantile(0.99))),
+        );
+    }
+    out
+}
+
+/// Export as Chrome `trace_event` JSON. Spans become `"ph":"X"` (complete)
+/// events, instants `"ph":"i"` with thread scope; fields ride in `args`.
+/// The result loads directly in `chrome://tracing` and Perfetto.
+pub fn to_chrome_trace(t: &Telemetry) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for e in &t.events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match e.kind {
+            EventKind::Span => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+                    json_escape(e.name),
+                    json_escape(e.cat),
+                    e.ts_us,
+                    e.dur_us,
+                    e.tid,
+                    json_fields(&e.fields),
+                );
+            }
+            EventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"pid\":1,\"tid\":{},\"args\":{}}}",
+                    json_escape(e.name),
+                    json_escape(e.cat),
+                    e.ts_us,
+                    e.tid,
+                    json_fields(&e.fields),
+                );
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn fmt_stat(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Human-readable summary: counters, then histogram percentiles, then a
+/// per-span-name aggregate (count + total/mean duration).
+pub fn summary(t: &Telemetry) -> String {
+    let mut out = String::new();
+    if !t.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &t.counters {
+            let _ = writeln!(out, "  {name:<40} {v}");
+        }
+    }
+    if !t.hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "histograms:\n  {:<40} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "p50", "p99", "max"
+        );
+        for (name, h) in &t.hists {
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count(),
+                fmt_stat(h.mean()),
+                fmt_stat(h.quantile(0.50)),
+                fmt_stat(h.quantile(0.99)),
+                fmt_stat(h.max()),
+            );
+        }
+    }
+    // Aggregate spans by name.
+    let mut agg: std::collections::BTreeMap<&'static str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for e in &t.events {
+        if e.kind == EventKind::Span {
+            let s = agg.entry(e.name).or_insert((0, 0));
+            s.0 += 1;
+            s.1 += e.dur_us;
+        }
+    }
+    if !agg.is_empty() {
+        let _ = writeln!(
+            out,
+            "spans:\n  {:<40} {:>8} {:>12} {:>12}",
+            "name", "count", "total_ms", "mean_ms"
+        );
+        for (name, (n, total_us)) in &agg {
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>8} {:>12.3} {:>12.3}",
+                name,
+                n,
+                *total_us as f64 / 1e3,
+                *total_us as f64 / 1e3 / *n as f64,
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,274 @@
+//! Log-scale histograms with mergeable buckets and percentile queries.
+//!
+//! Buckets are logarithmic in base 2 with [`SUB_BUCKETS`] sub-buckets per
+//! octave, covering `2^MIN_EXP ..= 2^MAX_EXP`. The relative quantization
+//! error of any recorded value is therefore bounded by
+//! `2^(1/SUB_BUCKETS) − 1` (≈ 9% at 8 sub-buckets), which is plenty for
+//! latency/iteration-count distributions while keeping every histogram a
+//! fixed, cheaply mergeable `u64` array. Values at or below `2^MIN_EXP`
+//! (including zero and negatives) land in a dedicated underflow bucket
+//! that reports as the recorded minimum.
+
+/// Sub-buckets per power of two.
+pub const SUB_BUCKETS: usize = 8;
+/// Smallest resolvable exponent: values ≤ `2^MIN_EXP` underflow.
+pub const MIN_EXP: i32 = -20;
+/// Largest resolvable exponent: values ≥ `2^MAX_EXP` land in the top bucket.
+pub const MAX_EXP: i32 = 44;
+/// Total number of log-scale buckets.
+pub const NUM_BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUB_BUCKETS;
+
+/// A fixed-size log-scale histogram (see module docs).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    underflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            underflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a positive, in-range value.
+    fn bucket(v: f64) -> Option<usize> {
+        if v <= 0.0 || v.is_nan() {
+            return None;
+        }
+        let pos = (v.log2() - MIN_EXP as f64) * SUB_BUCKETS as f64;
+        if pos < 0.0 {
+            return None; // underflow
+        }
+        Some((pos as usize).min(NUM_BUCKETS - 1))
+    }
+
+    /// Lower edge of bucket `i`.
+    fn bucket_lo(i: usize) -> f64 {
+        (MIN_EXP as f64 + i as f64 / SUB_BUCKETS as f64).exp2()
+    }
+
+    /// Representative value of bucket `i` (geometric midpoint of its edges).
+    fn bucket_mid(i: usize) -> f64 {
+        (MIN_EXP as f64 + (i as f64 + 0.5) / SUB_BUCKETS as f64).exp2()
+    }
+
+    /// Record one observation. NaN is ignored; zero/negative/underflowing
+    /// values count toward the underflow bucket.
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        match Self::bucket(v) {
+            Some(i) => self.counts[i] += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded (finite) observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`): the smallest bucket value such that
+    /// at least `q · count` observations are at or below it, mirroring the
+    /// mass-accumulation semantics of `flexile_metrics::flow_loss`. The
+    /// result is the bucket's geometric midpoint clamped to the recorded
+    /// `[min, max]`, so it carries the bucket quantization error (≤ ~9%
+    /// relative) but is exact at the extremes. `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = q * self.count as f64;
+        let mut acc = self.underflow as f64;
+        if acc + 1e-9 >= target {
+            // Everything at or below the underflow edge: report the min.
+            return self.min;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            acc += c as f64;
+            if acc + 1e-9 >= target {
+                return Self::bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate non-empty buckets as `(lower_edge, upper_edge, count)`,
+    /// with the underflow bucket reported as `(0.0, 2^MIN_EXP, n)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let under = (self.underflow > 0)
+            .then_some((0.0, Self::bucket_lo(0), self.underflow));
+        under.into_iter().chain(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (Self::bucket_lo(i), Self::bucket_lo(i + 1), c)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_nan() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_nan());
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(42.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            // Clamped to [min, max] == [42, 42].
+            assert_eq!(h.quantile(q), 42.0);
+        }
+        assert_eq!(h.count(), 1);
+        assert!((h.mean() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_track_order_statistics() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got / exact - 1.0).abs() < 0.10,
+                "q={q}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..500 {
+            let v = (i as f64 * 17.0) % 997.0 + 0.5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_underflow_to_min() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(8.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), -3.0);
+        // 2/3 of the mass is in the underflow bucket.
+        assert_eq!(h.quantile(0.5), -3.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+    }
+
+    #[test]
+    fn huge_and_tiny_values_stay_bounded() {
+        let mut h = LogHistogram::new();
+        h.record(1e-9);
+        h.record(1e12);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 1e12); // infinity excluded from min/max/sum
+        assert!(h.quantile(0.2) <= 1e-8);
+    }
+}
