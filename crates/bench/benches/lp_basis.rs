@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks for the basis-engine kernels: from-scratch
+//! refactorization and FTRAN/BTRAN pairs, dense explicit inverse vs sparse
+//! Markowitz LU, at `m ∈ {100, 500, 1000}`.
+//!
+//! Opt-in (`cargo bench --features bench -p flexile-bench --bench lp_basis`);
+//! the `repro lp_basis` experiment prints the same comparison as CSV without
+//! the criterion harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexile_lp::sparse::{DenseMat, LuFactors, SparseCol};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [100, 500, 1000];
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+}
+
+/// Deterministic network-style sparse basis (see `lp_basis::synthetic_basis`).
+fn basis_cols(m: usize, seed: u64) -> Vec<Vec<(u32, f64)>> {
+    let mut st = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut cols = Vec::with_capacity(m);
+    for j in 0..m {
+        let mut col = vec![(j as u32, 4.0 + lcg(&mut st))];
+        for _ in 0..3 {
+            let r = (lcg(&mut st) * m as f64) as usize % m;
+            if r != j && !col.iter().any(|&(rr, _)| rr as usize == r) {
+                let v = if lcg(&mut st) < 0.7 { 1.0 } else { lcg(&mut st) * 2.0 - 1.0 };
+                col.push((r as u32, v));
+            }
+        }
+        col.sort_by_key(|&(r, _)| r);
+        cols.push(col);
+    }
+    cols
+}
+
+fn bench_refactorize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_basis/refactorize");
+    group.sample_size(10);
+    for &m in &SIZES {
+        let cols = basis_cols(m, 42);
+        group.bench_function(format!("dense/m{m}"), |b| {
+            b.iter(|| {
+                let mut inv = DenseMat::identity(m);
+                assert!(inv.invert_from_columns(m, |j, out| {
+                    for &(r, v) in &cols[j] {
+                        out[r as usize] += v;
+                    }
+                }));
+                black_box(inv.data[0])
+            })
+        });
+        group.bench_function(format!("lu/m{m}"), |b| {
+            b.iter(|| {
+                let mut lu = LuFactors::new();
+                assert!(lu.factorize(m, &mut |j, out| out.extend_from_slice(&cols[j])));
+                black_box(lu.nnz())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ftran_btran(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_basis/ftran_btran");
+    group.sample_size(10);
+    for &m in &SIZES {
+        let cols = basis_cols(m, 42);
+        let mut inv = DenseMat::identity(m);
+        assert!(inv.invert_from_columns(m, |j, out| {
+            for &(r, v) in &cols[j] {
+                out[r as usize] += v;
+            }
+        }));
+        let mut lu = LuFactors::new();
+        assert!(lu.factorize(m, &mut |j, out| out.extend_from_slice(&cols[j])));
+        let rhs = SparseCol::from_entries(vec![
+            (1, 1.0),
+            ((m / 3) as u32, -0.5),
+            ((2 * m / 3) as u32, 2.0),
+        ]);
+        let mut x = vec![0.0; m];
+        let mut y = vec![0.0; m];
+        group.bench_function(format!("dense/m{m}"), |b| {
+            b.iter(|| {
+                inv.mul_sparse(black_box(&rhs), &mut x);
+                inv.pre_mul_dense(&x, &mut y);
+                black_box(y[0])
+            })
+        });
+        let mut scratch = vec![0.0; m];
+        group.bench_function(format!("lu/m{m}"), |b| {
+            b.iter(|| {
+                x.iter_mut().for_each(|v| *v = 0.0);
+                for (r, v) in black_box(&rhs).iter() {
+                    x[r] = v;
+                }
+                lu.ftran_in_place(&mut x, &mut scratch);
+                y.copy_from_slice(&x);
+                lu.btran_in_place(&mut y, &mut scratch);
+                black_box(y[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refactorize, bench_ftran_btran);
+criterion_main!(benches);

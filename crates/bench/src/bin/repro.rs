@@ -20,6 +20,7 @@
 //!   fig14        optimality gap per decomposition iteration vs IP
 //!   fig15        offline solve time vs topology size (IP vs Flexile)
 //!   fig18        max low-priority scale with zero 99%-ile loss
+//!   lp_basis     basis-engine benchmark: dense inverse vs sparse LU
 //!   summary      headline results incl. the FFC baseline and SLO report
 //!   all          every experiment above, in order
 //! ```
@@ -124,7 +125,7 @@ fn usage() {
         "usage: repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N] \
          [--threads N] [--limit N] [--full] [--quiet] [--obs DIR]\n\
          experiments: motivation table2 fig5 fig6 fig9a fig9b fig9c fig10 fig11 \
-         fig12 fig13 fig14 fig15 fig18 summary all"
+         fig12 fig13 fig14 fig15 fig18 lp_basis summary all"
     );
 }
 
@@ -144,6 +145,7 @@ fn run(experiment: &str, cfg: &ExpConfig, limit: usize) -> bool {
         "fig14" => figs_perf::run_fig14(cfg),
         "fig15" => figs_perf::run_fig15(cfg, limit),
         "fig18" => figs_sweep::run_fig18(cfg),
+        "lp_basis" => flexile_bench::lp_basis::run_lp_basis(cfg, limit),
         "summary" => flexile_bench::summary::run_summary(cfg),
         _ => return false,
     }

@@ -70,7 +70,7 @@ impl ExpConfig {
     }
 
     /// Per-topology traffic seed.
-    fn traffic_seed(&self, name: &str) -> u64 {
+    pub(crate) fn traffic_seed(&self, name: &str) -> u64 {
         self.seed ^ zoo::fnv1a(name)
     }
 

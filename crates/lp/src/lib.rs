@@ -7,9 +7,12 @@
 //!
 //! * [`Model`] — a row/column model builder with per-variable bounds,
 //!   `≤ / ≥ / =` rows and a linear objective.
-//! * [`simplex`] — a bounded-variable two-phase revised simplex method with a
-//!   dense explicitly-maintained basis inverse (eta updates + periodic
-//!   refactorization), Dantzig pricing with a Bland anti-cycling fallback, and
+//! * [`simplex`] — a bounded-variable two-phase revised simplex method over a
+//!   pluggable [`basis`] engine: by default a sparse Markowitz LU
+//!   factorization with product-form eta-file updates and periodic
+//!   refactorization (the original dense explicit inverse remains selectable
+//!   as a differential-testing oracle via [`EngineKind::Dense`]),
+//!   candidate-list partial pricing with a Bland anti-cycling fallback, and
 //!   warm starts from a previously optimal basis.
 //! * [`mip`] — a best-first branch-and-bound solver for models with binary /
 //!   integer variables, with a fix-and-dive rounding heuristic for incumbents.
@@ -24,9 +27,10 @@
 //!   chaos-testing every failure path.
 //!
 //! The solver is exact up to a configurable feasibility/optimality tolerance
-//! (default `1e-7`) and is deliberately dense in the basis dimension: every
-//! model in this workspace keeps its row count small (loss variables live in
-//! *bounds*, not rows; big LPs go through [`rowgen`]).
+//! (default `1e-7`). With the sparse LU basis engine the per-pivot cost
+//! scales with the factor fill rather than O(m²), so the basis dimension can
+//! reach the low thousands; very large scenario-bundled LPs still go through
+//! [`rowgen`] to keep the active row set small.
 //!
 //! ## Quick example
 //!
@@ -45,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod basis;
 pub mod budget;
 pub mod error;
 pub mod fault;
@@ -55,6 +60,7 @@ pub mod rowgen;
 pub mod simplex;
 pub mod sparse;
 
+pub use basis::{BasisEngine, EngineKind};
 pub use budget::SolveBudget;
 pub use error::LpError;
 pub use fault::{FaultInjector, FaultKind};

@@ -8,6 +8,7 @@
 //! budgets make it safe to call on larger instances, in which case the result
 //! reports the achieved bound and the incumbent (`MipStatus::Feasible`).
 
+use crate::basis::EngineKind;
 use crate::error::LpError;
 use crate::model::{Model, Sense, VarId};
 use crate::simplex::{SimplexOptions, Solution};
@@ -27,6 +28,8 @@ pub struct MipOptions {
     pub abs_gap: f64,
     /// Stop when the relative gap falls below this value.
     pub rel_gap: f64,
+    /// Basis engine used for every node LP relaxation.
+    pub engine: EngineKind,
 }
 
 impl Default for MipOptions {
@@ -36,6 +39,7 @@ impl Default for MipOptions {
             time_limit: Duration::from_secs(60),
             abs_gap: 1e-6,
             rel_gap: 1e-6,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -126,7 +130,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, LpError>
     let to_min = |obj: f64| min_sign * obj;
 
     let mut work = model.clone();
-    let simplex_opts = SimplexOptions::default();
+    let simplex_opts = SimplexOptions { engine: opts.engine, ..SimplexOptions::default() };
 
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (x, obj_min_form)
     let mut heap = BinaryHeap::new();

@@ -10,7 +10,10 @@
 //!    to the internal retry of [`crate::Model::solve`], so a zero-fault
 //!    `solve_robust` reproduces `solve` bit for bit.
 //! 3. **BlandSafe** — cold start, Bland's rule from the first pivot, tight
-//!    refactorization. Cycle-proof; the slowest exact mode.
+//!    refactorization, on the *dense* basis engine
+//!    ([`crate::EngineKind::Dense`]). Cycle-proof and independent of the
+//!    default sparse-LU representation, so a numerical failure inside the
+//!    LU/eta path cannot recur here; the slowest exact mode.
 //! 4. **Perturb** — solve a copy with deterministically jittered finite
 //!    bounds/RHS to break pathological degeneracy, then re-solve the
 //!    original warm from the perturbed basis. If even the clean-up solve
@@ -242,8 +245,14 @@ pub fn solve_robust(
         }
     }
 
-    // Rung 3: Bland safe mode.
-    let bland = SimplexOptions { force_bland: true, refactor_every: Some(8), ..base };
+    // Rung 3: Bland safe mode on the dense oracle engine, so a failure tied
+    // to the sparse LU/eta representation cannot reproduce itself here.
+    let bland = SimplexOptions {
+        force_bland: true,
+        refactor_every: Some(8),
+        engine: crate::EngineKind::Dense,
+        ..base
+    };
     let t0 = std::time::Instant::now();
     match solve_single(model, &bland, None) {
         Ok(sol) => {

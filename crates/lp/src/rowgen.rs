@@ -9,6 +9,7 @@
 //! basis — converging to the optimum of the full model because every added
 //! row is a valid constraint of it.
 
+use crate::basis::EngineKind;
 use crate::budget::SolveBudget;
 use crate::error::LpError;
 use crate::model::{Cmp, Model, VarId};
@@ -48,11 +49,18 @@ pub struct RowGenOptions {
     /// absolute instant) bounds the whole loop — a round that starts past
     /// it fails with [`LpError::DeadlineExceeded`].
     pub budget: SolveBudget,
+    /// Basis engine used for every round's solve.
+    pub engine: EngineKind,
 }
 
 impl Default for RowGenOptions {
     fn default() -> Self {
-        RowGenOptions { max_rounds: 200, rows_per_round: 0, budget: SolveBudget::unlimited() }
+        RowGenOptions {
+            max_rounds: 200,
+            rows_per_round: 0,
+            budget: SolveBudget::unlimited(),
+            engine: EngineKind::default(),
+        }
     }
 }
 
@@ -84,7 +92,8 @@ pub fn solve_with_rowgen<F>(
 where
     F: FnMut(&Solution) -> Vec<RowSpec>,
 {
-    let simplex_opts = opts.budget.simplex_options();
+    let mut simplex_opts = opts.budget.simplex_options();
+    simplex_opts.engine = opts.engine;
     let mut warm: Option<Basis> = None;
     let mut rows_added = 0usize;
     for round in 1..=opts.max_rounds {

@@ -8,21 +8,28 @@
 //!   its bounds get a `±1` artificial column with phase-1 cost 1. Once the
 //!   artificial sum reaches zero the artificials are frozen at `[0, 0]` and
 //!   phase 2 runs with the true cost.
-//! * The basis inverse is kept as an explicit dense matrix, updated with an
-//!   elementary (eta) transformation per pivot and refactorized from scratch
-//!   periodically (and whenever drift is detected).
-//! * Pricing is Dantzig (most negative reduced cost); after a run of
-//!   degenerate pivots the solver switches to Bland's rule, which guarantees
-//!   termination, and switches back once progress resumes.
+//! * The basis is maintained behind a [`BasisEngine`]: by default a sparse
+//!   Markowitz LU factorization with a product-form eta file appended per
+//!   pivot, refactorized from scratch periodically (and whenever drift is
+//!   detected); the explicit dense inverse survives as the selectable
+//!   [`EngineKind::Dense`] oracle.
+//! * Pricing is Dantzig (most negative reduced cost) over a **candidate
+//!   list**: a full pricing pass stashes the most attractive columns, and
+//!   subsequent iterations scan only that list, falling back to a full pass
+//!   when the list runs dry. Optimality is only ever declared by a full
+//!   pass. After a run of degenerate pivots the solver switches to Bland's
+//!   rule (full lowest-index scan), which guarantees termination, and
+//!   switches back once progress resumes.
 //! * Warm starts: [`Solution::basis`] can be fed back into
 //!   [`solve`] for a structurally identical model (same variables and rows,
 //!   possibly different RHS/bounds/objective). If the saved basis is not
 //!   primal feasible for the new data the solver silently falls back to a
 //!   cold start, so warm starting is always safe.
 
+use crate::basis::{make_engine, BasisEngine, EngineKind};
 use crate::error::LpError;
 use crate::model::{Cmp, Model, Sense};
-use crate::sparse::{DenseMat, SparseCol};
+use crate::sparse::SparseCol;
 
 /// Feasibility tolerance on variable bounds.
 const FEAS_TOL: f64 = 1e-7;
@@ -63,6 +70,10 @@ pub struct SimplexOptions {
     /// means the default interval; small values trade speed for numerical
     /// robustness.
     pub refactor_every: Option<usize>,
+    /// Basis representation. Defaults to the sparse LU engine; the dense
+    /// inverse remains selectable as a differential-testing oracle and is
+    /// what the Bland-safe rung of [`crate::solve_robust`] uses.
+    pub engine: EngineKind,
 }
 
 /// A basis snapshot usable for warm-starting a later solve.
@@ -124,9 +135,36 @@ struct Work<'a> {
     cost2: Vec<f64>,
     basis: Vec<usize>,
     status: Vec<VarStatus>,
-    binv: DenseMat,
+    engine: Box<dyn BasisEngine>,
     xb: Vec<f64>,
+    /// Reduced-RHS scratch reused by [`Work::recompute_xb`] so the hot
+    /// refactorization path never allocates.
+    rhs_scratch: Vec<f64>,
     pivots_since_refactor: usize,
+}
+
+/// Push the non-zero `(row, value)` entries of column `j` in the working
+/// column order (structurals, slacks, artificials). Free function so the
+/// engine's refactorization callback can borrow these fields while the
+/// engine itself is borrowed mutably.
+fn push_col_entries(
+    model: &Model,
+    arts: &[(usize, f64)],
+    n: usize,
+    m: usize,
+    j: usize,
+    out: &mut Vec<(u32, f64)>,
+) {
+    if j < n {
+        for (r, v) in model.cols.col(j).iter() {
+            out.push((r as u32, v));
+        }
+    } else if j < n + m {
+        out.push(((j - n) as u32, 1.0));
+    } else {
+        let (r, s) = arts[j - n - m];
+        out.push((r as u32, s));
+    }
 }
 
 impl<'a> Work<'a> {
@@ -165,9 +203,12 @@ impl<'a> Work<'a> {
         }
     }
 
-    /// Recompute the basic values `xb = B⁻¹ (b - A_N x_N)`.
-    fn recompute_xb(&mut self) {
-        let mut r: Vec<f64> = self.model.rhs.clone();
+    /// Fill [`Work::rhs_scratch`] with the reduced RHS `b - A_N x_N`.
+    fn reduced_rhs(&mut self) {
+        // Take the buffer out so `for_col` can borrow `self` immutably.
+        let mut r = std::mem::take(&mut self.rhs_scratch);
+        r.clear();
+        r.extend_from_slice(&self.model.rhs);
         for j in 0..self.ncols() {
             if self.status[j] == VarStatus::Basic {
                 continue;
@@ -177,30 +218,27 @@ impl<'a> Work<'a> {
                 self.for_col(j, |row, a| r[row] -= a * v);
             }
         }
-        // xb = binv * r
-        for i in 0..self.m {
-            self.xb[i] = self.binv.row(i).iter().zip(r.iter()).map(|(a, b)| a * b).sum();
-        }
+        self.rhs_scratch = r;
     }
 
-    /// Refactorize the basis inverse from the current basis column set.
+    /// Recompute the basic values `xb = B⁻¹ (b - A_N x_N)` via the engine's
+    /// dense FTRAN, reusing the RHS scratch buffer.
+    fn recompute_xb(&mut self) {
+        self.reduced_rhs();
+        self.engine.ftran_dense(&self.rhs_scratch, &mut self.xb);
+    }
+
+    /// Refactorize the basis representation from the current column set.
     fn refactorize(&mut self) -> Result<(), LpError> {
         flexile_obs::add("lp.refactorizations", 1);
         if self.pivots_since_refactor > 0 {
             flexile_obs::observe("lp.eta_chain_len", self.pivots_since_refactor as f64);
         }
-        let m = self.m;
-        // Move the inverse out so the inversion closure can borrow `self`
-        // immutably for column access.
-        let mut binv = std::mem::replace(&mut self.binv, DenseMat::identity(1));
-        let basis = self.basis.clone();
-        let ok = binv.invert_from_columns(m, |pos, out| {
-            self.for_col(basis[pos], |r, v| out[r] += v);
-        });
-        self.binv = binv;
-        if !ok {
-            return Err(LpError::Numerical("singular basis at refactorization".into()));
-        }
+        let Work { model, arts, basis, engine, n, m, .. } = self;
+        let (n, m) = (*n, *m);
+        engine.refactor(m, &mut |pos, out| {
+            push_col_entries(model, arts, n, m, basis[pos], out)
+        })?;
         self.pivots_since_refactor = 0;
         self.recompute_xb();
         Ok(())
@@ -249,6 +287,24 @@ impl PhaseCtl {
     }
 }
 
+/// Price nonbasic column `j`: `Some((|d|, dir))` if it is attractive.
+fn price_col(w: &Work, cost: &[f64], y: &[f64], j: usize) -> Option<(f64, f64)> {
+    if w.status[j] == VarStatus::Basic {
+        return None;
+    }
+    if w.ub[j] - w.lb[j] <= 0.0 {
+        return None; // fixed column can never improve
+    }
+    let d = cost[j] - w.col_dot(j, y);
+    let dir = match w.status[j] {
+        VarStatus::AtLower if d < -DUAL_TOL => 1.0,
+        VarStatus::AtUpper if d > DUAL_TOL => -1.0,
+        VarStatus::FreeZero if d.abs() > DUAL_TOL => -d.signum(),
+        _ => return None,
+    };
+    Some((d.abs(), dir))
+}
+
 /// Run simplex iterations with the given cost vector until optimality.
 fn run_phase(
     w: &mut Work,
@@ -265,6 +321,14 @@ fn run_phase(
     let mut degen_run = 0usize;
     let mut bland = ctl.force_bland;
 
+    // Candidate-list partial pricing: a full pass stashes the most
+    // attractive columns; later iterations re-price only the list (with
+    // Dantzig selection inside it) until it runs dry. The list size scales
+    // with the column count so big LPs amortize many pivots per full pass.
+    let cand_cap = (w.ncols() / 16).clamp(10, 200);
+    let mut cand: Vec<u32> = Vec::with_capacity(cand_cap);
+    let mut scored: Vec<(f64, u32)> = Vec::new();
+
     loop {
         if *iter_budget == 0 {
             return Ok(PhaseEnd::IterLimit);
@@ -279,31 +343,62 @@ fn run_phase(
         for (i, &j) in w.basis.iter().enumerate() {
             cb[i] = cost[j];
         }
-        w.binv.pre_mul_dense(&cb, &mut y);
+        w.engine.btran(&cb, &mut y);
 
         // Pricing.
         let mut enter: Option<(usize, f64, f64)> = None; // (col, |d|, dir)
-        for j in 0..w.ncols() {
-            if w.status[j] == VarStatus::Basic {
-                continue;
+        if bland {
+            // Bland's rule: full scan, lowest attractive index (anti-cycling
+            // depends on the full lowest-index order; no candidate list).
+            for j in 0..w.ncols() {
+                if let Some((score, dir)) = price_col(w, cost, &y, j) {
+                    enter = Some((j, score, dir));
+                    break;
+                }
             }
-            if w.ub[j] - w.lb[j] <= 0.0 {
-                continue; // fixed column can never improve
+        } else {
+            if !cand.is_empty() {
+                // Price only the candidate list, pruning entries that went
+                // basic, fixed, or unattractive since the last full pass.
+                let mut keep = 0;
+                for idx in 0..cand.len() {
+                    let j = cand[idx] as usize;
+                    if let Some((score, dir)) = price_col(w, cost, &y, j) {
+                        cand[keep] = j as u32;
+                        keep += 1;
+                        match enter {
+                            Some((_, best, _)) if score <= best => {}
+                            _ => enter = Some((j, score, dir)),
+                        }
+                    }
+                }
+                cand.truncate(keep);
+                if enter.is_some() {
+                    flexile_obs::add("lp.pricing_candidates", 1);
+                }
             }
-            let d = cost[j] - w.col_dot(j, &y);
-            let dir = match w.status[j] {
-                VarStatus::AtLower if d < -DUAL_TOL => 1.0,
-                VarStatus::AtUpper if d > DUAL_TOL => -1.0,
-                VarStatus::FreeZero if d.abs() > DUAL_TOL => -d.signum(),
-                _ => continue,
-            };
-            if bland {
-                enter = Some((j, d.abs(), dir));
-                break;
-            }
-            match enter {
-                Some((_, best, _)) if d.abs() <= best => {}
-                _ => enter = Some((j, d.abs(), dir)),
+            if enter.is_none() {
+                // Full pricing pass; only this path may declare optimality.
+                flexile_obs::add("lp.pricing_rescans", 1);
+                scored.clear();
+                for j in 0..w.ncols() {
+                    if let Some((score, dir)) = price_col(w, cost, &y, j) {
+                        match enter {
+                            Some((_, best, _)) if score <= best => {}
+                            _ => enter = Some((j, score, dir)),
+                        }
+                        scored.push((score, j as u32));
+                    }
+                }
+                // Rebuild the list from the most attractive columns. Sort is
+                // descending by score with the column index as a total-order
+                // tie-break, so the rebuilt list is deterministic.
+                scored.sort_unstable_by(|a, b| {
+                    b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+                });
+                scored.truncate(cand_cap);
+                cand.clear();
+                cand.extend(scored.iter().map(|&(_, j)| j));
             }
         }
         let (q, _, dir) = match enter {
@@ -317,7 +412,7 @@ fn run_phase(
             w.for_col(q, |r, v| entries.push((r as u32, v)));
             SparseCol::from_entries(entries)
         };
-        w.binv.mul_sparse(&col, &mut ftran);
+        w.engine.ftran(&col, &mut ftran);
 
         // Ratio test: entering moves by t >= 0 in direction `dir`; basic i
         // changes by -dir * t * ftran[i].
@@ -412,7 +507,7 @@ fn run_phase(
                 w.basis[r] = q;
                 w.status[q] = VarStatus::Basic;
                 w.xb[r] = start + dir * t_best;
-                w.binv.eta_update(&ftran, r);
+                w.engine.update(&ftran, r)?;
                 w.pivots_since_refactor += 1;
                 if w.pivots_since_refactor >= refactor_every {
                     w.refactorize()?;
@@ -493,12 +588,13 @@ fn run_dual_phase(
             None => return Ok(DualEnd::Feasible),
         };
 
-        // Reduced costs need y = c_B B⁻¹; pivot row needs e_r B⁻¹.
+        // Reduced costs need y = c_B B⁻¹; pivot row needs e_r B⁻¹ (a unit
+        // BTRAN, hypersparse under the LU engine).
         for (i, &j) in w.basis.iter().enumerate() {
             cb[i] = cost[j];
         }
-        w.binv.pre_mul_dense(&cb, &mut y);
-        row.copy_from_slice(w.binv.row(r));
+        w.engine.btran(&cb, &mut y);
+        w.engine.btran_unit(r, &mut row);
 
         // Dual ratio test: among nonbasic columns whose motion pushes the
         // leaving basic toward its violated bound, pick the one with the
@@ -548,7 +644,7 @@ fn run_dual_phase(
             w.for_col(q, |rr, v| entries.push((rr as u32, v)));
             SparseCol::from_entries(entries)
         };
-        w.binv.mul_sparse(&col, &mut ftran);
+        w.engine.ftran(&col, &mut ftran);
         let target = if below_lb { w.lb[w.basis[r]] } else { w.ub[w.basis[r]] };
         // xb_r + (-dir t alpha) = target, with |ftran[r]| == |alpha|.
         let need = target - w.xb[r];
@@ -562,7 +658,7 @@ fn run_dual_phase(
         w.basis[r] = q;
         w.status[q] = VarStatus::Basic;
         w.xb[r] = start + dir_t;
-        w.binv.eta_update(&ftran, r);
+        w.engine.update(&ftran, r)?;
         w.pivots_since_refactor += 1;
         if w.pivots_since_refactor >= refactor_every {
             w.refactorize()?;
@@ -571,15 +667,16 @@ fn run_dual_phase(
 }
 
 /// Whether the current basis is dual feasible for `cost` (reduced costs
-/// have the right sign for every nonbasic status).
-fn dual_feasible(w: &Work, cost: &[f64]) -> bool {
+/// have the right sign for every nonbasic status). Takes `&mut Work` only
+/// because the engine's BTRAN reuses internal scratch space.
+fn dual_feasible(w: &mut Work, cost: &[f64]) -> bool {
     let m = w.m;
     let mut cb = vec![0.0; m];
     for (i, &j) in w.basis.iter().enumerate() {
         cb[i] = cost[j];
     }
     let mut y = vec![0.0; m];
-    w.binv.pre_mul_dense(&cb, &mut y);
+    w.engine.btran(&cb, &mut y);
     for j in 0..w.ncols() {
         if w.status[j] == VarStatus::Basic || w.ub[j] - w.lb[j] <= 0.0 {
             continue;
@@ -692,11 +789,11 @@ fn solve_attempt(
         cost2,
         basis: (n..n + m).collect(),
         status: Vec::new(),
-        binv: DenseMat::identity(m.max(1)),
+        engine: make_engine(opts.engine),
         xb: vec![0.0; m],
+        rhs_scratch: Vec::with_capacity(m),
         pivots_since_refactor: 0,
     };
-    w.binv = DenseMat::identity(m);
 
     let max_iters = if opts.max_iters == 0 {
         50 * (n + m) + 10_000
@@ -735,7 +832,7 @@ fn solve_attempt(
                         c.resize(w.ncols(), 0.0);
                         c
                     };
-                    if dual_feasible(&w, &cost_now) {
+                    if dual_feasible(&mut w, &cost_now) {
                         flexile_obs::add("lp.dual_restarts", 1);
                         let dual_from = total_iters;
                         match run_dual_phase(
@@ -776,8 +873,10 @@ fn solve_attempt(
                 }
             })
             .collect();
-        w.binv = DenseMat::identity(m);
-        w.recompute_xb();
+        // B = I for the all-slack basis, so the basic values are just the
+        // reduced RHS — no factorization needed to compute them.
+        w.reduced_rhs();
+        w.xb.copy_from_slice(&w.rhs_scratch);
 
         // Install artificials for slack-infeasible rows.
         let mut need_phase1 = false;
@@ -808,12 +907,13 @@ fn solve_attempt(
                 w.status.push(VarStatus::Basic);
                 w.basis[i] = a;
                 w.xb[i] = deficit;
-                // The artificial column is -e_i, so the basis inverse row
-                // flips sign relative to the identity start.
-                w.binv.data[i * m + i] = -1.0;
                 need_phase1 = true;
             }
         }
+        // Factorize the (possibly artificial-patched ±identity) start basis
+        // so the engine is live before the first pivot. Cannot fail: every
+        // column is a signed unit vector.
+        w.refactorize()?;
 
         if need_phase1 {
             let mut cost1 = vec![0.0; w.ncols()];
@@ -885,7 +985,7 @@ fn solve_attempt(
         cb[i] = cost2[j];
     }
     let mut y = vec![0.0; m];
-    w.binv.pre_mul_dense(&cb, &mut y);
+    w.engine.btran(&cb, &mut y);
     if sign < 0.0 {
         y.iter_mut().for_each(|v| *v = -*v);
     }
@@ -1154,5 +1254,49 @@ mod tests {
         let s = m.solve().unwrap();
         assert_close(s.value(x), 2.0);
         assert_close(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn dense_engine_remains_selectable() {
+        use crate::basis::EngineKind;
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_row_le(&[(x, 1.0)], 4.0);
+        m.add_row_le(&[(y, 2.0)], 12.0);
+        m.add_row_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let opts = crate::SimplexOptions { engine: EngineKind::Dense, ..Default::default() };
+        let dense = m.solve_with(&opts, None).unwrap();
+        let lu = m.solve().unwrap();
+        assert_close(dense.objective, 36.0);
+        assert!((dense.objective - lu.objective).abs() < 1e-9);
+        for (a, b) in dense.x.iter().zip(lu.x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in dense.duals.iter().zip(lu.duals.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_basis_transfers_between_engines() {
+        // A basis snapshot is representation-free: a solve on one engine can
+        // warm-start the other.
+        use crate::basis::EngineKind;
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_row_le(&[(x, 1.0)], 4.0);
+        let r2 = m.add_row_le(&[(y, 2.0)], 12.0);
+        m.add_row_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let dense_opts =
+            crate::SimplexOptions { engine: EngineKind::Dense, ..Default::default() };
+        let s1 = m.solve_with(&dense_opts, None).unwrap();
+        m.set_rhs(r2, 11.0);
+        let s2 = m
+            .solve_with(&crate::SimplexOptions::default(), Some(&s1.basis))
+            .unwrap();
+        assert_close(s2.objective, 3.0 * (7.0 / 3.0) + 5.0 * 5.5);
+        assert!(s2.iterations <= s1.iterations + 2);
     }
 }
