@@ -21,6 +21,7 @@
 //!   fig15        offline solve time vs topology size (IP vs Flexile)
 //!   fig18        max low-priority scale with zero 99%-ile loss
 //!   lp_basis     basis-engine benchmark: dense inverse vs sparse LU
+//!   warm_restart scenario-pool policy benchmark: cold / striped / per-scenario
 //!   summary      headline results incl. the FFC baseline and SLO report
 //!   all          every experiment above, in order
 //! ```
@@ -125,7 +126,7 @@ fn usage() {
         "usage: repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N] \
          [--threads N] [--limit N] [--full] [--quiet] [--obs DIR]\n\
          experiments: motivation table2 fig5 fig6 fig9a fig9b fig9c fig10 fig11 \
-         fig12 fig13 fig14 fig15 fig18 lp_basis summary all"
+         fig12 fig13 fig14 fig15 fig18 lp_basis warm_restart summary all"
     );
 }
 
@@ -146,6 +147,7 @@ fn run(experiment: &str, cfg: &ExpConfig, limit: usize) -> bool {
         "fig15" => figs_perf::run_fig15(cfg, limit),
         "fig18" => figs_sweep::run_fig18(cfg),
         "lp_basis" => flexile_bench::lp_basis::run_lp_basis(cfg, limit),
+        "warm_restart" => flexile_bench::warm_restart::run_warm_restart(cfg, limit),
         "summary" => flexile_bench::summary::run_summary(cfg),
         _ => return false,
     }
@@ -247,7 +249,14 @@ fn perf_record(experiment: &str, cfg: &ExpConfig, wall_ms: f64, t: &flexile_obs:
             h.max()
         );
     }
-    s.push_str("}}\n");
+    s.push('}');
+    // The pool-policy benchmark reports a per-run breakdown on top of the
+    // global counters; embed it so the committed artifact is self-contained.
+    let policies = flexile_bench::warm_restart::take_policy_records();
+    if !policies.is_empty() {
+        let _ = write!(s, ",\"policies\":[{}]", policies.join(","));
+    }
+    s.push_str("}\n");
     s
 }
 

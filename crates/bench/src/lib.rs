@@ -17,6 +17,7 @@ pub mod figs_sweep;
 pub mod lp_basis;
 pub mod setup;
 pub mod summary;
+pub mod warm_restart;
 
 pub use setup::{loss_matrix, rich_setup, single_class_setup, two_class_setup, ExpConfig};
 

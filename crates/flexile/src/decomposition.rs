@@ -14,9 +14,14 @@
 //! * **Unchanged-criticality pruning** — a scenario whose critical-flow set
 //!   did not change since its last solve is skipped; its cached cut and
 //!   losses remain valid.
-//! * **Parallel subproblems** — scenarios are solved on worker threads,
-//!   each owning a clone of the RHS-parameterized template (the shared
-//!   dual space / warm-start trick of the reformulated `S_q`).
+//! * **Persistent scenario-solve pool** — subproblems run on a pool of
+//!   workers that lives for the whole decomposition (see [`crate::pool`]):
+//!   one warm template *per scenario* so iteration `k+1` dual-restarts from
+//!   iteration `k`'s basis of the *same* scenario (the shared dual space /
+//!   warm-start trick of the reformulated `S_q`, finally applied across
+//!   iterations), with a work-stealing scheduler and a bounded
+//!   basis-residency budget. [`PoolPolicy`] selects the legacy per-thread
+//!   striping or a cold-every-iteration baseline for A/B comparison.
 //!
 //! Each iteration yields a full routing, so an *incumbent* penalty is
 //! evaluated exactly (sort per-flow losses, take β quantiles); the best
@@ -24,10 +29,17 @@
 //! statistics for the Fig. 14 convergence experiment.
 
 use crate::master::{solve_master, CutPool, MasterOptions};
-use crate::subproblem::SubproblemTemplate;
+use crate::pool::{with_pool, IterationSolver, LegacyStriped, PoolCtx};
+use crate::subproblem::{SubproblemSolution, SubproblemTemplate};
 use flexile_metrics::{perc_loss, LossMatrix};
 use flexile_scenario::ScenarioSet;
 use flexile_traffic::Instance;
+
+pub use crate::pool::PoolPolicy;
+
+/// Alias emphasizing that these options configure the offline decomposition
+/// (scheduling policy, residency budget, master knobs).
+pub type DecompositionOptions = FlexileOptions;
 
 /// Options for the offline decomposition.
 #[derive(Debug, Clone)]
@@ -45,6 +57,13 @@ pub struct FlexileOptions {
     /// Enable perfect-scenario / unchanged-criticality pruning (§4.2).
     /// Disabled only by the ablation benchmarks.
     pub prune: bool,
+    /// Subproblem scheduling / basis-reuse policy (see [`PoolPolicy`]).
+    pub pool: PoolPolicy,
+    /// Maximum scenario templates (and their warm bases) kept resident
+    /// between iterations under [`PoolPolicy::PerScenario`]; LRU beyond
+    /// this. Deliberately generous: a template is small next to the
+    /// scenario set itself.
+    pub basis_residency: usize,
 }
 
 impl Default for FlexileOptions {
@@ -55,6 +74,8 @@ impl Default for FlexileOptions {
             master: MasterOptions::default(),
             gamma: None,
             prune: true,
+            pool: PoolPolicy::default(),
+            basis_residency: 4096,
         }
     }
 }
@@ -70,6 +91,13 @@ pub struct IterationStat {
     pub solved: usize,
     /// Subproblems skipped by pruning.
     pub pruned: usize,
+    /// Total simplex iterations across this iteration's subproblem solves
+    /// (every attempt, restart or ladder fallback).
+    pub lp_iterations: usize,
+    /// Solves that reused a saved basis (primal-warm or dual restart).
+    pub warm_hits: usize,
+    /// Warm reuses that specifically went through dual-simplex RHS repair.
+    pub dual_restarts: usize,
 }
 
 /// The offline design produced by the decomposition.
@@ -171,8 +199,39 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             .collect()
     });
 
+    let ctx = PoolCtx { inst, set, loss_ub: loss_ub.as_deref() };
+    let design = match opts.pool {
+        PoolPolicy::LegacyStriped => {
+            let mut solver = LegacyStriped { ctx, threads: opts.threads };
+            run_decomposition(inst, set, opts, &betas, &allowed, &mut solver)
+        }
+        PoolPolicy::PerScenario | PoolPolicy::Cold => {
+            let residency = if opts.pool == PoolPolicy::Cold { 0 } else { opts.basis_residency };
+            with_pool(ctx, opts.threads.max(1), residency, |solver| {
+                run_decomposition(inst, set, opts, &betas, &allowed, solver)
+            })
+        }
+    };
+    solve_span.set("penalty", design.penalty);
+    solve_span.set("iterations", design.iterations.len());
+    design
+}
+
+/// The Algorithm-1 iteration loop, generic over how an iteration's
+/// subproblems are actually scheduled and solved.
+fn run_decomposition(
+    inst: &Instance,
+    set: &ScenarioSet,
+    opts: &FlexileOptions,
+    betas: &[f64],
+    allowed: &[Vec<bool>],
+    solver: &mut dyn IterationSolver,
+) -> FlexileDesign {
+    let nf = inst.num_flows();
+    let nq = set.scenarios.len();
+
     // Starting heuristic: everything connected is critical.
-    let mut z = allowed.clone();
+    let mut z = allowed.to_vec();
     let mut pool = CutPool::new(nq);
     let mut cached_loss: Vec<Option<Vec<f64>>> = vec![None; nq];
     let mut cached_value: Vec<f64> = vec![f64::INFINITY; nq];
@@ -209,94 +268,63 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             .field("iteration", it)
             .field("solved", todo.len());
 
-        // Solve subproblems (parallel chunks, each with its own template).
-        // Workers never panic on solver failures: each scenario's result is
-        // a `Result`, and a terminal LP error just marks the scenario
-        // unsolved for this iteration (pessimistic losses, no cut, retried
-        // next round) instead of taking the whole decomposition down.
-        let threads = opts.threads.max(1).min(todo.len().max(1));
-        type ScenResult =
-            (usize, Result<crate::subproblem::SubproblemSolution, flexile_lp::LpError>);
-        let mut results: Vec<Option<crate::subproblem::SubproblemSolution>> = vec![None; nq];
-        let mut failed: Vec<usize> = Vec::new();
-        if !todo.is_empty() {
-            let chunks: Vec<Vec<usize>> = (0..threads)
-                .map(|t| todo.iter().copied().skip(t).step_by(threads).collect())
-                .collect();
-            let z_ref = &z;
-            let loss_ub_ref = &loss_ub;
-            let outputs: Vec<Vec<ScenResult>> =
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = chunks
-                        .iter()
-                        .map(|chunk| {
-                            s.spawn(move || {
-                                let mut out = Vec::with_capacity(chunk.len());
-                                // γ bounds differ per scenario, so that
-                                // variant rebuilds the template per solve;
-                                // otherwise one template per demand factor
-                                // (usually just 1.0) is shared across the
-                                // thread's scenarios for warm starts.
-                                let mut tmpl: Option<SubproblemTemplate> = None;
-                                for &q in chunk {
-                                    let _sq = flexile_obs::span("flexile.subproblem", "flexile")
-                                        .field("scenario", q);
-                                    let scen = &set.scenarios[q];
-                                    let zq: Vec<bool> = (0..nf).map(|f| z_ref[f][q]).collect();
-                                    let sol = match loss_ub_ref {
-                                        Some(ub) => {
-                                            let mut t = SubproblemTemplate::for_demand_factor(
-                                                inst,
-                                                Some(ub[q].clone()),
-                                                scen.demand_factor,
-                                            );
-                                            t.solve(inst, scen, &zq)
-                                        }
-                                        None => {
-                                            let rebuild = tmpl
-                                                .as_ref()
-                                                .is_none_or(|t| !t.matches_factor(scen.demand_factor));
-                                            if rebuild {
-                                                tmpl = Some(SubproblemTemplate::for_demand_factor(
-                                                    inst,
-                                                    None,
-                                                    scen.demand_factor,
-                                                ));
-                                            }
-                                            tmpl.as_mut().expect("template built").solve(inst, scen, &zq)
-                                        }
-                                    };
-                                    out.push((q, sol));
-                                }
-                                out
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                });
-            for chunk in outputs {
-                for (q, sol) in chunk {
-                    match sol {
-                        Ok(s) => results[q] = Some(s),
-                        Err(_) => failed.push(q),
-                    }
-                }
-            }
-        }
+        // Solve subproblems through the configured scheduler. Workers never
+        // panic on solver failures: each scenario's result is a `Result`,
+        // and a terminal LP error just marks the scenario unsolved for this
+        // iteration (pessimistic losses, no cut, retried next round) instead
+        // of taking the whole decomposition down.
+        let cols: Vec<Vec<bool>> =
+            todo.iter().map(|&q| (0..nf).map(|f| z[f][q]).collect()).collect();
+        let outputs = solver.solve_iteration(&todo, cols);
 
         drop(sub_span);
 
+        let mut results: Vec<Option<SubproblemSolution>> = vec![None; nq];
+        // Boolean failure mask (indexed by scenario) instead of a membership
+        // scan per result.
+        let mut failed_mask = vec![false; nq];
+        let mut nfailed = 0u64;
+        let mut lp_iterations = 0usize;
+        let mut warm_hits = 0usize;
+        let mut dual_restarts = 0usize;
+        for (q, res) in outputs {
+            match res {
+                Ok((sol, stats)) => {
+                    lp_iterations += stats.iterations;
+                    if stats.warm_hit {
+                        warm_hits += 1;
+                    }
+                    if stats.dual_restart {
+                        dual_restarts += 1;
+                    }
+                    results[q] = Some(sol);
+                }
+                Err(_) => {
+                    failed_mask[q] = true;
+                    nfailed += 1;
+                }
+            }
+        }
+        flexile_obs::add("flexile.scenario_warm_hit", warm_hits as u64);
+        flexile_obs::add(
+            "flexile.scenario_warm_miss",
+            todo.len() as u64 - nfailed - warm_hits as u64,
+        );
+        flexile_obs::add("flexile.dual_restart", dual_restarts as u64);
+
         // Failed scenarios: pessimistic losses this iteration, no cut, and
         // no column cache so the pruning logic re-solves them next round.
-        flexile_obs::add("flexile.scenarios_retried", failed.len() as u64);
-        for &q in &failed {
-            cached_loss[q] = None;
-            cached_value[q] = f64::INFINITY;
-            last_z_col[q] = None;
+        flexile_obs::add("flexile.scenarios_retried", nfailed);
+        for q in 0..nq {
+            if failed_mask[q] {
+                cached_loss[q] = None;
+                cached_value[q] = f64::INFINITY;
+                last_z_col[q] = None;
+            }
         }
 
         for &q in &todo {
-            if failed.contains(&q) {
+            if failed_mask[q] {
                 continue;
             }
             let sol = results[q].take().expect("solved scenario missing");
@@ -305,6 +333,10 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             let col: Vec<bool> = (0..nf).map(|f| z[f][q]).collect();
             if sol.value < 1e-9 && col == allowed.iter().map(|r| r[q]).collect::<Vec<bool>>() {
                 perfect[q] = true;
+                if opts.prune {
+                    // Never solved again: drop its pooled template early.
+                    solver.retire(q);
+                }
             }
             cached_loss[q] = Some(sol.loss.clone());
             cached_value[q] = sol.value;
@@ -350,6 +382,9 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             penalty: upper,
             solved: todo.len(),
             pruned,
+            lp_iterations,
+            warm_hits,
+            dual_restarts,
         });
 
         if it == opts.max_iterations {
@@ -357,7 +392,7 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
         }
         // Master proposes the next z.
         let master_span = flexile_obs::span("flexile.master", "flexile").field("iteration", it);
-        let (next_z, bound) = solve_master(inst, set, &pool, &allowed, &betas, &z, &opts.master);
+        let (next_z, bound) = solve_master(inst, set, &pool, allowed, betas, &z, &opts.master);
         drop(master_span);
         last_bound = Some(bound);
         if next_z == z {
@@ -367,9 +402,14 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
     }
 
     let (penalty, critical, offline_loss, alpha) = best.expect("at least one iteration ran");
-    solve_span.set("penalty", penalty);
-    solve_span.set("iterations", iterations.len());
-    FlexileDesign { critical, alpha, penalty, betas, offline_loss, iterations }
+    FlexileDesign {
+        critical,
+        alpha,
+        penalty,
+        betas: betas.to_vec(),
+        offline_loss,
+        iterations,
+    }
 }
 
 #[cfg(test)]

@@ -36,9 +36,12 @@ pub mod lexicographic;
 pub mod master;
 pub mod model;
 pub mod online;
+pub(crate) mod pool;
 pub mod subproblem;
 
-pub use decomposition::{solve_flexile, FlexileDesign, FlexileOptions, IterationStat};
+pub use decomposition::{
+    solve_flexile, DecompositionOptions, FlexileDesign, FlexileOptions, IterationStat, PoolPolicy,
+};
 pub use lexicographic::{solve_flexile_lexicographic, LexicographicDesign};
 pub use model::{solve_ip, IpOptions, IpResult};
 pub use online::{

@@ -1,0 +1,368 @@
+//! Persistent scenario-solve pool for the decomposition (§4.2).
+//!
+//! The reformulated subproblem `S_q` makes re-solving a scenario across
+//! Benders iterations an **RHS-only** change: the criticality rows flip
+//! between 0 and −1 and the capacity rows scale, while the LHS never moves.
+//! That is exactly the memoization the bounded dual simplex was built for —
+//! but it only pays off if each scenario's warm basis *survives* between
+//! iterations and is never clobbered by a different scenario's RHS pattern.
+//!
+//! This module provides that state management:
+//!
+//! * **Per-scenario templates** — one long-lived [`SubproblemTemplate`] per
+//!   scenario (γ-variant loss bounds included), so iteration `k+1` restarts
+//!   scenario `q` from scenario `q`'s own optimal basis via the explicit
+//!   dual-simplex RHS path ([`flexile_lp::solve_rhs_restart`]).
+//! * **Persistent workers** — one `thread::scope` spans the *whole*
+//!   decomposition; workers park on a condvar between iterations instead of
+//!   being respawned, and iterations are dispatched as epochs.
+//! * **Work stealing** — workers claim scenarios off a shared atomic cursor
+//!   rather than static `skip/step_by` stripes, so one slow scenario no
+//!   longer idles the other workers. Claims that deviate from the old static
+//!   striping are counted as `flexile.steal`.
+//! * **Bounded basis residency** — an LRU budget over the per-scenario
+//!   templates (evicted only at iteration boundaries, oldest last-use first,
+//!   ties broken by lower scenario index, so eviction — and therefore every
+//!   solve's warm-start history — is deterministic regardless of thread
+//!   count or timing). A residency of 0 is the cold-every-iteration policy.
+//!
+//! Determinism: scenario `q`'s solve sequence depends only on its own solve
+//! history (its template is locked per solve and touched by no other
+//! scenario), so the decomposition output is bit-identical across thread
+//! counts and runs — unlike the legacy striping, where a chunk's template
+//! was warm-started across *different* scenarios in thread-dependent order.
+
+use crate::subproblem::{SolveStats, SubproblemSolution, SubproblemTemplate};
+use flexile_lp::LpError;
+use flexile_scenario::ScenarioSet;
+use flexile_traffic::Instance;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// How the decomposition schedules and reuses subproblem solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolPolicy {
+    /// Persistent pool, one warm template per scenario, work-stealing
+    /// scheduler (the default).
+    #[default]
+    PerScenario,
+    /// The pre-pool behavior: per-iteration threads with static striping and
+    /// per-thread templates shared across that stripe's scenarios. Kept as
+    /// an A/B escape hatch.
+    LegacyStriped,
+    /// No cross-iteration reuse at all: every iteration rebuilds and solves
+    /// cold. Baseline for the `warm_restart` benchmark.
+    Cold,
+}
+
+/// One scenario's outcome in an iteration.
+pub(crate) type ScenResult = (usize, Result<(SubproblemSolution, SolveStats), LpError>);
+
+/// Everything a worker needs to build and solve a scenario's subproblem.
+pub(crate) struct PoolCtx<'a> {
+    pub inst: &'a Instance,
+    pub set: &'a ScenarioSet,
+    /// γ-variant per-scenario loss bounds (§4.4); `None` for the plain form.
+    pub loss_ub: Option<&'a [Vec<f64>]>,
+}
+
+impl PoolCtx<'_> {
+    fn build_template(&self, q: usize) -> SubproblemTemplate {
+        SubproblemTemplate::for_demand_factor(
+            self.inst,
+            self.loss_ub.map(|ub| ub[q].clone()),
+            self.set.scenarios[q].demand_factor,
+        )
+    }
+}
+
+/// One decomposition iteration's worth of subproblem solving, abstracted so
+/// the iteration loop is policy-independent.
+pub(crate) trait IterationSolver {
+    /// Solve every scenario in `todo` (ascending) with the matching
+    /// criticality columns `cols[i]` for `todo[i]`. Returns one result per
+    /// scenario, sorted by scenario index.
+    fn solve_iteration(&mut self, todo: &[usize], cols: Vec<Vec<bool>>) -> Vec<ScenResult>;
+
+    /// The decomposition will never solve `q` again (perfect-scenario
+    /// pruning); release whatever is retained for it.
+    fn retire(&mut self, q: usize);
+}
+
+/// An epoch's work order: scenarios plus their criticality columns, claimed
+/// off a shared cursor.
+struct Job {
+    todo: Vec<usize>,
+    cols: Vec<Vec<bool>>,
+    cursor: AtomicUsize,
+}
+
+struct Ctl {
+    /// Bumped once per dispatched iteration; workers wake on a change.
+    epoch: u64,
+    shutdown: bool,
+    job: Option<Arc<Job>>,
+    /// Scenarios of the current epoch not yet completed.
+    remaining: usize,
+    results: Vec<ScenResult>,
+    /// Per-worker solve time (µs) within the current epoch, for the
+    /// `flexile.subproblem_wait` idle-time histogram.
+    worker_busy: Vec<u64>,
+}
+
+struct Shared {
+    ctl: Mutex<Ctl>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+fn worker_loop(
+    shared: &Shared,
+    slots: &[Mutex<Option<SubproblemTemplate>>],
+    ctx: &PoolCtx<'_>,
+    id: usize,
+    nworkers: usize,
+) {
+    let mut my_epoch = 0u64;
+    loop {
+        let job = {
+            let mut g = shared.ctl.lock().expect("pool lock");
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.epoch > my_epoch {
+                    my_epoch = g.epoch;
+                    // The job is installed before the epoch bump under the
+                    // same lock, so it is always present here.
+                    break g.job.clone().expect("job set with epoch");
+                }
+                g = shared.work_cv.wait(g).expect("pool lock");
+            }
+        };
+        loop {
+            let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= job.todo.len() {
+                break;
+            }
+            if i % nworkers != id {
+                flexile_obs::add("flexile.steal", 1);
+            }
+            let q = job.todo[i];
+            let t0 = Instant::now();
+            let res = {
+                let mut slot = slots[q].lock().expect("scenario slot lock");
+                let tmpl = slot.get_or_insert_with(|| ctx.build_template(q));
+                let _sq = flexile_obs::span("flexile.subproblem", "flexile").field("scenario", q);
+                tmpl.solve_with_stats(ctx.inst, &ctx.set.scenarios[q], &job.cols[i])
+            };
+            let busy = t0.elapsed().as_micros() as u64;
+            let mut g = shared.ctl.lock().expect("pool lock");
+            g.worker_busy[id] += busy;
+            g.results.push((q, res));
+            g.remaining -= 1;
+            if g.remaining == 0 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The main thread's handle to the persistent pool.
+struct PoolHandle<'a> {
+    shared: &'a Shared,
+    slots: &'a [Mutex<Option<SubproblemTemplate>>],
+    residency: usize,
+    /// Last iteration each scenario's template was used (0 = never/evicted).
+    stamp: Vec<u64>,
+    it: u64,
+}
+
+impl PoolHandle<'_> {
+    /// Enforce the residency budget. Runs only at iteration boundaries (the
+    /// workers are parked), so eviction order — oldest last-use first, ties
+    /// by lower scenario index — never depends on scheduling.
+    fn evict(&mut self) {
+        let mut live: Vec<(u64, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.lock().expect("scenario slot lock").is_some())
+            .map(|(q, _)| (self.stamp[q], q))
+            .collect();
+        if live.len() <= self.residency {
+            return;
+        }
+        live.sort_unstable();
+        let excess = live.len() - self.residency;
+        for &(_, q) in live.iter().take(excess) {
+            *self.slots[q].lock().expect("scenario slot lock") = None;
+            self.stamp[q] = 0;
+        }
+    }
+}
+
+impl IterationSolver for PoolHandle<'_> {
+    fn solve_iteration(&mut self, todo: &[usize], cols: Vec<Vec<bool>>) -> Vec<ScenResult> {
+        self.it += 1;
+        if todo.is_empty() {
+            return Vec::new();
+        }
+        let wall0 = Instant::now();
+        {
+            let mut g = self.shared.ctl.lock().expect("pool lock");
+            g.job = Some(Arc::new(Job {
+                todo: todo.to_vec(),
+                cols,
+                cursor: AtomicUsize::new(0),
+            }));
+            g.epoch += 1;
+            g.remaining = todo.len();
+            g.results = Vec::with_capacity(todo.len());
+            g.worker_busy.iter_mut().for_each(|b| *b = 0);
+            self.shared.work_cv.notify_all();
+        }
+        let mut results = {
+            let mut g = self.shared.ctl.lock().expect("pool lock");
+            while g.remaining > 0 {
+                g = self.shared.done_cv.wait(g).expect("pool lock");
+            }
+            std::mem::take(&mut g.results)
+        };
+        if flexile_obs::enabled() {
+            let wall = wall0.elapsed().as_micros() as u64;
+            let g = self.shared.ctl.lock().expect("pool lock");
+            for &busy in &g.worker_busy {
+                flexile_obs::observe("flexile.subproblem_wait", wall.saturating_sub(busy) as f64);
+            }
+        }
+        results.sort_by_key(|&(q, _)| q);
+        for &q in todo {
+            self.stamp[q] = self.it;
+        }
+        self.evict();
+        results
+    }
+
+    fn retire(&mut self, q: usize) {
+        *self.slots[q].lock().expect("scenario slot lock") = None;
+        self.stamp[q] = 0;
+    }
+}
+
+/// Run `f` with a persistent scenario pool of `nworkers` threads and the
+/// given basis-residency budget. Workers live exactly as long as `f`.
+pub(crate) fn with_pool<R>(
+    ctx: PoolCtx<'_>,
+    nworkers: usize,
+    residency: usize,
+    f: impl FnOnce(&mut dyn IterationSolver) -> R,
+) -> R {
+    let nq = ctx.set.scenarios.len();
+    let slots: Vec<Mutex<Option<SubproblemTemplate>>> = (0..nq).map(|_| Mutex::new(None)).collect();
+    let shared = Shared {
+        ctl: Mutex::new(Ctl {
+            epoch: 0,
+            shutdown: false,
+            job: None,
+            remaining: 0,
+            results: Vec::new(),
+            worker_busy: vec![0; nworkers],
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    };
+    std::thread::scope(|s| {
+        for id in 0..nworkers {
+            let shared = &shared;
+            let slots = &slots;
+            let ctx = &ctx;
+            s.spawn(move || worker_loop(shared, slots, ctx, id, nworkers));
+        }
+        let mut handle = PoolHandle {
+            shared: &shared,
+            slots: &slots,
+            residency,
+            stamp: vec![0; nq],
+            it: 0,
+        };
+        let r = f(&mut handle);
+        shared.ctl.lock().expect("pool lock").shutdown = true;
+        shared.work_cv.notify_all();
+        r
+    })
+}
+
+/// The pre-pool scheduling: per-iteration scoped threads, static striping,
+/// one template per stripe warm-started across that stripe's (different!)
+/// scenarios, everything dropped when the iteration ends. γ-variant solves
+/// rebuild a template every time, as before.
+pub(crate) struct LegacyStriped<'a> {
+    pub ctx: PoolCtx<'a>,
+    pub threads: usize,
+}
+
+impl IterationSolver for LegacyStriped<'_> {
+    fn solve_iteration(&mut self, todo: &[usize], cols: Vec<Vec<bool>>) -> Vec<ScenResult> {
+        if todo.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.threads.max(1).min(todo.len());
+        let ctx = &self.ctx;
+        let cols = &cols;
+        let mut results: Vec<ScenResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut tmpl: Option<SubproblemTemplate> = None;
+                        let mut i = t;
+                        while i < todo.len() {
+                            let q = todo[i];
+                            let scen = &ctx.set.scenarios[q];
+                            let _sq = flexile_obs::span("flexile.subproblem", "flexile")
+                                .field("scenario", q);
+                            let res = match ctx.loss_ub {
+                                Some(ub) => {
+                                    let mut fresh = SubproblemTemplate::for_demand_factor(
+                                        ctx.inst,
+                                        Some(ub[q].clone()),
+                                        scen.demand_factor,
+                                    );
+                                    fresh.solve_with_stats(ctx.inst, scen, &cols[i])
+                                }
+                                None => {
+                                    let rebuild = tmpl
+                                        .as_ref()
+                                        .is_none_or(|t| !t.matches_factor(scen.demand_factor));
+                                    if rebuild {
+                                        tmpl = Some(SubproblemTemplate::for_demand_factor(
+                                            ctx.inst,
+                                            None,
+                                            scen.demand_factor,
+                                        ));
+                                    }
+                                    tmpl.as_mut()
+                                        .expect("template built")
+                                        .solve_with_stats(ctx.inst, scen, &cols[i])
+                                }
+                            };
+                            out.push((q, res));
+                            i += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        results.sort_by_key(|&(q, _)| q);
+        results
+    }
+
+    fn retire(&mut self, _q: usize) {}
+}

@@ -27,7 +27,10 @@
 //! this is tight (strong duality); evaluated at another scenario it is the
 //! shared-dual-space cross cut (22).
 
-use flexile_lp::{solve_robust, Basis, LpError, Model, RobustOptions, RowId, Sense, SolveBudget, VarId};
+use flexile_lp::{
+    solve_robust, Basis, LpError, Model, RestartKind, RobustOptions, RowId, Sense, SolveBudget,
+    VarId,
+};
 use flexile_scenario::Scenario;
 use flexile_traffic::Instance;
 
@@ -58,6 +61,22 @@ impl Cut {
         }
         v
     }
+}
+
+/// Per-solve accounting from [`SubproblemTemplate::solve_with_stats`]: how
+/// the warm basis was (or wasn't) reused and what the solve cost. The
+/// decomposition's scenario pool aggregates these into the
+/// `flexile.scenario_warm_hit/miss` and `flexile.dual_restart` counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// A saved basis existed and produced the solution (either still primal
+    /// feasible, or repaired by the dual simplex).
+    pub warm_hit: bool,
+    /// The warm reuse specifically went through dual-simplex RHS repair.
+    pub dual_restart: bool,
+    /// Simplex iterations across every attempt of this solve (restart plus
+    /// any ladder fallback).
+    pub iterations: usize,
 }
 
 /// Result of solving one subproblem.
@@ -180,6 +199,23 @@ impl SubproblemTemplate {
         scen: &Scenario,
         z: &[bool],
     ) -> Result<SubproblemSolution, LpError> {
+        self.solve_with_stats(inst, scen, z).map(|(sol, _)| sol)
+    }
+
+    /// [`Self::solve`], additionally reporting how the solve restarted.
+    ///
+    /// When a warm basis is saved from a previous solve of this template, the
+    /// only thing that changed since is the RHS (criticality flips and
+    /// capacity scaling — the §4.2 reformulation guarantees the LHS is
+    /// scenario-independent), so the solve first goes through the explicit
+    /// [`flexile_lp::solve_rhs_restart`] dual path. A retryable failure there
+    /// falls back to the full [`solve_robust`] escalation ladder.
+    pub fn solve_with_stats(
+        &mut self,
+        inst: &Instance,
+        scen: &Scenario,
+        z: &[bool],
+    ) -> Result<(SubproblemSolution, SolveStats), LpError> {
         assert_eq!(z.len(), self.num_flows);
         assert!(
             (scen.demand_factor - self.demand_factor).abs() < 1e-12,
@@ -202,7 +238,35 @@ impl SubproblemTemplate {
             budget: SolveBudget::with_max_iters(2_000_000),
             ..Default::default()
         };
-        let sol = solve_robust(&self.model, &rb, self.warm.as_ref()).result?;
+        let (sol, stats) = match self.warm.as_ref() {
+            Some(warm) => {
+                match self.model.solve_rhs_restart(&rb.budget.simplex_options(), warm) {
+                    Ok((sol, kind)) => {
+                        let stats = SolveStats {
+                            warm_hit: kind != RestartKind::Cold,
+                            dual_restart: kind == RestartKind::DualRestart,
+                            iterations: sol.iterations,
+                        };
+                        (sol, stats)
+                    }
+                    // Retryable failures escalate through the full ladder
+                    // (which retries the warm basis first, then colder modes).
+                    Err(LpError::Numerical(_) | LpError::IterationLimit) => {
+                        let out = solve_robust(&self.model, &rb, self.warm.as_ref());
+                        let iterations = out.report.total_iterations();
+                        (out.result?, SolveStats { iterations, ..Default::default() })
+                    }
+                    // Verdicts about the model (infeasible, unbounded) and
+                    // deadline exhaustion are terminal.
+                    Err(e) => return Err(e),
+                }
+            }
+            None => {
+                let out = solve_robust(&self.model, &rb, None);
+                let iterations = out.report.total_iterations();
+                (out.result?, SolveStats { iterations, ..Default::default() })
+            }
+        };
         self.warm = Some(sol.basis.clone());
 
         let alpha: Vec<f64> = self.alpha_vars.iter().map(|&v| sol.value(v)).collect();
@@ -225,12 +289,15 @@ impl SubproblemTemplate {
         for (a, &ua) in u.iter().enumerate() {
             d_const -= ua * cap_arc[a];
         }
-        Ok(SubproblemSolution {
-            value: sol.objective,
-            alpha,
-            loss,
-            cut: Cut { w, u, d_const },
-        })
+        Ok((
+            SubproblemSolution {
+                value: sol.objective,
+                alpha,
+                loss,
+                cut: Cut { w, u, d_const },
+            },
+            stats,
+        ))
     }
 
     /// The per-flow loss upper bounds in effect (γ variant).

@@ -68,7 +68,9 @@ pub use mip::{solve_mip, MipOptions, MipResult, MipStatus};
 pub use model::{Cmp, Model, RowId, Sense, VarId};
 pub use robust::{solve_robust, RobustOptions, RobustOutcome, Rung, RungAttempt, SolveReport};
 pub use rowgen::{solve_with_rowgen, RowGenOptions, RowGenResult, RowSpec};
-pub use simplex::{Basis, SimplexOptions, Solution, SolveStatus};
+pub use simplex::{
+    solve_rhs_restart, Basis, RestartKind, SimplexOptions, Solution, SolveStatus,
+};
 
 /// Default feasibility / optimality tolerance used across the workspace.
 pub const TOL: f64 = 1e-7;

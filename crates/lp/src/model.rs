@@ -6,7 +6,7 @@
 //! [`Model::solve`] solves the continuous relaxation.
 
 use crate::error::LpError;
-use crate::simplex::{self, Basis, SimplexOptions, Solution};
+use crate::simplex::{self, Basis, RestartKind, SimplexOptions, Solution};
 use crate::sparse::{ColMatrix, SparseCol};
 
 /// Optimization direction.
@@ -213,6 +213,21 @@ impl Model {
         warm: Option<&Basis>,
     ) -> Result<Solution, LpError> {
         simplex::solve(self, opts, warm)
+    }
+
+    /// Re-solve after an RHS-only change, restarting from `warm`.
+    ///
+    /// The caller asserts that nothing but row right-hand sides changed since
+    /// `warm` was captured (see [`Model::set_rhs`]); the solver then skips the
+    /// dual-feasibility scan and repairs the basis with dual-simplex pivots
+    /// directly. One attempt, no internal retry — see
+    /// [`simplex::solve_rhs_restart`].
+    pub fn solve_rhs_restart(
+        &self,
+        opts: &SimplexOptions,
+        warm: &Basis,
+    ) -> Result<(Solution, RestartKind), LpError> {
+        simplex::solve_rhs_restart(self, opts, warm)
     }
 
     /// Evaluate the objective at a point.

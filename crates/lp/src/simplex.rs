@@ -83,6 +83,24 @@ pub struct Basis {
     status: Vec<VarStatus>,
 }
 
+/// How a warm-started solve actually restarted (reported by
+/// [`solve_rhs_restart`]). The decomposition's scenario pool uses this to
+/// count cross-iteration basis reuse explicitly instead of inferring it
+/// from telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartKind {
+    /// The saved basis was still primal feasible; phase 2 continued from it
+    /// directly (typically zero pivots when the optimum is unchanged).
+    PrimalWarm,
+    /// The RHS change broke primal feasibility; dual-simplex pivots repaired
+    /// it from the saved (still dual-feasible) basis.
+    DualRestart,
+    /// The saved basis could not be used (shape mismatch, singular
+    /// refactorization, or the dual repair gave up); a cold two-phase solve
+    /// produced the solution.
+    Cold,
+}
+
 /// An optimal (or best-found) solution.
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -722,12 +740,47 @@ pub(crate) fn solve_single(
     solve_attempt(model, opts, warm, opts.refactor_every.unwrap_or(REFACTOR_EVERY))
 }
 
+/// Solve a model whose only change since `warm` was captured is the RHS
+/// (the paper's reformulated per-scenario subproblem: criticality rows and
+/// capacity rows move, the matrix / bounds / objective do not).
+///
+/// An RHS-only delta preserves dual feasibility of the saved basis *by
+/// construction*, so this entry point skips the O(cols) dual-feasibility
+/// scan and goes straight to the dual-simplex repair when the basis is no
+/// longer primal feasible. Exactly one attempt (one fault-injection poll),
+/// no internal numerical retry: callers that want the escalation ladder
+/// fall back to [`crate::solve_robust`] on a retryable error. Returns the
+/// solution together with how the restart was actually satisfied.
+pub fn solve_rhs_restart(
+    model: &Model,
+    opts: &SimplexOptions,
+    warm: &Basis,
+) -> Result<(Solution, RestartKind), LpError> {
+    solve_attempt_traced(
+        model,
+        opts,
+        Some(warm),
+        opts.refactor_every.unwrap_or(REFACTOR_EVERY),
+        true,
+    )
+}
+
 fn solve_attempt(
     model: &Model,
     opts: &SimplexOptions,
     warm: Option<&Basis>,
     refactor_every: usize,
 ) -> Result<Solution, LpError> {
+    solve_attempt_traced(model, opts, warm, refactor_every, false).map(|(sol, _)| sol)
+}
+
+fn solve_attempt_traced(
+    model: &Model,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+    refactor_every: usize,
+    rhs_only: bool,
+) -> Result<(Solution, RestartKind), LpError> {
     if let Some(kind) = crate::fault::poll() {
         return Err(kind.to_error());
     }
@@ -805,6 +858,7 @@ fn solve_attempt(
 
     // Try the warm basis first.
     let mut warm_ok = false;
+    let mut restart_kind = RestartKind::Cold;
     if let Some(b) = warm {
         if b.basis.len() == m
             && b.status.len() >= n + m
@@ -822,17 +876,19 @@ fn solve_attempt(
             if w.refactorize().is_ok() {
                 if w.primal_infeas() <= 1e-6 {
                     warm_ok = true;
+                    restart_kind = RestartKind::PrimalWarm;
                 } else {
                     // RHS/bound changes broke primal feasibility. If the
                     // basis is still dual feasible (always true when only
-                    // the RHS changed — the cross-scenario case), restore
-                    // feasibility with dual-simplex pivots.
+                    // the RHS changed — the cross-scenario case, which the
+                    // caller can assert via `rhs_only` to skip the scan),
+                    // restore feasibility with dual-simplex pivots.
                     let cost_now = {
                         let mut c = w.cost2.clone();
                         c.resize(w.ncols(), 0.0);
                         c
                     };
-                    if dual_feasible(&mut w, &cost_now) {
+                    if rhs_only || dual_feasible(&mut w, &cost_now) {
                         flexile_obs::add("lp.dual_restarts", 1);
                         let dual_from = total_iters;
                         match run_dual_phase(
@@ -843,7 +899,10 @@ fn solve_attempt(
                             refactor_every,
                             ctl,
                         ) {
-                            Ok(DualEnd::Feasible) => warm_ok = true,
+                            Ok(DualEnd::Feasible) => {
+                                warm_ok = true;
+                                restart_kind = RestartKind::DualRestart;
+                            }
                             Ok(DualEnd::PrimalInfeasible) => return Err(LpError::Infeasible),
                             Ok(DualEnd::IterLimit) => {}
                             // A cold start cannot beat an expired clock.
@@ -997,14 +1056,17 @@ fn solve_attempt(
         basis: w.basis.clone(),
         status: w.status[..n + m].to_vec(),
     };
-    Ok(Solution {
-        status: SolveStatus::Optimal,
-        x,
-        objective,
-        duals: y,
-        iterations: total_iters,
-        basis,
-    })
+    Ok((
+        Solution {
+            status: SolveStatus::Optimal,
+            x,
+            objective,
+            duals: y,
+            iterations: total_iters,
+            basis,
+        },
+        restart_kind,
+    ))
 }
 
 fn initial_status(lb: f64, ub: f64, prefer: VarStatus) -> VarStatus {
@@ -1243,6 +1305,57 @@ mod tests {
             assert_close(warm.objective, cold.objective);
             basis = Some(warm.basis);
         }
+    }
+
+    #[test]
+    fn rhs_restart_reports_primal_warm_on_unchanged_rhs() {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_row_le(&[(x, 1.0)], 4.0);
+        m.add_row_le(&[(y, 2.0)], 12.0);
+        m.add_row_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let s1 = m.solve().unwrap();
+        let (s2, kind) = m
+            .solve_rhs_restart(&crate::SimplexOptions::default(), &s1.basis)
+            .unwrap();
+        assert_eq!(kind, crate::simplex::RestartKind::PrimalWarm);
+        assert_close(s2.objective, s1.objective);
+        // At most a degenerate touch-up pivot; no cold two-phase work.
+        assert!(s2.iterations <= 1, "iterations = {}", s2.iterations);
+    }
+
+    #[test]
+    fn rhs_restart_reports_dual_restart_and_matches_cold() {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, 8.0, 2.0);
+        let y = m.add_var("y", 0.0, 8.0, 1.0);
+        let cap = m.add_row_le(&[(x, 1.0), (y, 1.0)], 10.0);
+        m.add_row_le(&[(x, 2.0), (y, 1.0)], 14.0);
+        let s1 = m.solve().unwrap();
+        // Tighten the capacity: the old optimal basis goes primal infeasible
+        // but stays dual feasible, so the repair must go through the dual
+        // simplex — and land on the same optimum as a cold solve.
+        m.set_rhs(cap, 5.0);
+        let (warm, kind) = m
+            .solve_rhs_restart(&crate::SimplexOptions::default(), &s1.basis)
+            .unwrap();
+        assert_eq!(kind, crate::simplex::RestartKind::DualRestart);
+        let cold = m.solve().unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        assert!(m.max_violation(&warm.x) < 1e-6);
+    }
+
+    #[test]
+    fn rhs_restart_detects_infeasible_rhs() {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let r1 = m.add_row_le(&[(x, 1.0)], 10.0);
+        m.add_row_ge(&[(x, 1.0)], 6.0);
+        let s1 = m.solve().unwrap();
+        m.set_rhs(r1, 4.0);
+        let res = m.solve_rhs_restart(&crate::SimplexOptions::default(), &s1.basis);
+        assert!(matches!(res, Err(crate::LpError::Infeasible)), "{res:?}");
     }
 
     #[test]
