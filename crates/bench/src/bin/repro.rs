@@ -3,7 +3,8 @@
 //! ```text
 //! repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N]
 //!                    [--threads N] [--limit N] [--full] [--quiet]
-//!                    [--obs DIR]
+//!                    [--obs DIR] [--checkpoint DIR] [--every N]
+//!                    [--resume] [--kill-iter N] [--kill-scenario I:K]
 //!
 //! experiments:
 //!   motivation   §3 / Propositions 1-2 on the Fig. 1 triangle
@@ -22,9 +23,19 @@
 //!   fig18        max low-priority scale with zero 99%-ile loss
 //!   lp_basis     basis-engine benchmark: dense inverse vs sparse LU
 //!   warm_restart scenario-pool policy benchmark: cold / striped / per-scenario
+//!   checkpoint   crash-safety guard: checkpoint cadence sweep + overhead bound
+//!   crash_resume process-level kill/resume driver (see flags below)
 //!   summary      headline results incl. the FFC baseline and SLO report
 //!   all          every experiment above, in order
 //! ```
+//!
+//! The `crash_resume` experiment drives a real process-death cycle for the
+//! CI smoke test: `--checkpoint DIR` selects the checkpoint directory,
+//! `--kill-iter N` arms an abort so the run dies at iteration N (exit
+//! code 3), `--kill-scenario I:K` arms a contained worker panic, `--every N`
+//! sets the checkpoint cadence, and `--resume` continues a killed run from
+//! DIR in a fresh process. Penalties print at full precision so a resumed
+//! run can be compared to an uninterrupted reference by string equality.
 //!
 //! Default caps keep runs laptop-sized; `--full` removes them (hours).
 //! All randomness is seeded: identical arguments give identical output.
@@ -39,6 +50,7 @@
 //!   or <https://ui.perfetto.dev>)
 //! * `BENCH_<exp>_events.jsonl` one JSON object per event/counter/histogram
 
+use flexile_bench::checkpoint::CrashResumeArgs;
 use flexile_bench::{figs_ibm, figs_motivation, figs_perf, figs_sweep, ExpConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -48,6 +60,7 @@ struct Args {
     cfg: ExpConfig,
     limit: usize,
     obs: Option<PathBuf>,
+    crash: CrashResumeArgs,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
     let mut experiment: Option<String> = None;
     let mut full = false;
     let mut obs: Option<PathBuf> = None;
+    let mut crash = CrashResumeArgs { every: 1, ..Default::default() };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -98,6 +112,33 @@ fn parse_args() -> Result<Args, String> {
                 obs = Some(PathBuf::from(next_val(i, "--obs")?));
                 i += 1;
             }
+            "--checkpoint" => {
+                crash.dir = Some(PathBuf::from(next_val(i, "--checkpoint")?));
+                i += 1;
+            }
+            "--resume" => crash.resume = true,
+            "--kill-iter" => {
+                crash.kill_iter = Some(
+                    next_val(i, "--kill-iter")?.parse().map_err(|e| format!("--kill-iter: {e}"))?,
+                );
+                i += 1;
+            }
+            "--kill-scenario" => {
+                let v = next_val(i, "--kill-scenario")?;
+                let (it, q) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--kill-scenario: expected I:K, got {v}"))?;
+                crash.kill_scenario = Some((
+                    it.parse().map_err(|e| format!("--kill-scenario: {e}"))?,
+                    q.parse().map_err(|e| format!("--kill-scenario: {e}"))?,
+                ));
+                i += 1;
+            }
+            "--every" => {
+                crash.every =
+                    next_val(i, "--every")?.parse().map_err(|e| format!("--every: {e}"))?;
+                i += 1;
+            }
             "--help" | "-h" => return Err(String::new()),
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string())
@@ -110,7 +151,7 @@ fn parse_args() -> Result<Args, String> {
         cfg = cfg.full();
     }
     let experiment = experiment.ok_or_else(String::new)?;
-    Ok(Args { experiment, cfg, limit, obs })
+    Ok(Args { experiment, cfg, limit, obs, crash })
 }
 
 fn cfg_limit_check(limit: &mut usize, s: &str) -> Result<(), String> {
@@ -125,8 +166,11 @@ fn usage() {
     eprintln!(
         "usage: repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N] \
          [--threads N] [--limit N] [--full] [--quiet] [--obs DIR]\n\
+         crash_resume flags: --checkpoint DIR [--every N] [--resume] \
+         [--kill-iter N] [--kill-scenario I:K]\n\
          experiments: motivation table2 fig5 fig6 fig9a fig9b fig9c fig10 fig11 \
-         fig12 fig13 fig14 fig15 fig18 lp_basis warm_restart summary all"
+         fig12 fig13 fig14 fig15 fig18 lp_basis warm_restart checkpoint \
+         crash_resume summary all"
     );
 }
 
@@ -148,6 +192,7 @@ fn run(experiment: &str, cfg: &ExpConfig, limit: usize) -> bool {
         "fig18" => figs_sweep::run_fig18(cfg),
         "lp_basis" => flexile_bench::lp_basis::run_lp_basis(cfg, limit),
         "warm_restart" => flexile_bench::warm_restart::run_warm_restart(cfg, limit),
+        "checkpoint" => flexile_bench::checkpoint::run_checkpoint(cfg, limit),
         "summary" => flexile_bench::summary::run_summary(cfg),
         _ => return false,
     }
@@ -256,6 +301,11 @@ fn perf_record(experiment: &str, cfg: &ExpConfig, wall_ms: f64, t: &flexile_obs:
     if !policies.is_empty() {
         let _ = write!(s, ",\"policies\":[{}]", policies.join(","));
     }
+    // Likewise for the checkpoint-cadence guard.
+    let ckpt_runs = flexile_bench::checkpoint::take_checkpoint_records();
+    if !ckpt_runs.is_empty() {
+        let _ = write!(s, ",\"checkpoint_runs\":[{}]", ckpt_runs.join(","));
+    }
     s.push_str("}\n");
     s
 }
@@ -271,6 +321,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `crash_resume` is exit-code driven (3 = armed kill fired) and may die
+    // mid-run by design, so it bypasses the telemetry artifact plumbing.
+    if args.experiment == "crash_resume" {
+        return ExitCode::from(flexile_bench::checkpoint::run_crash_resume(&args.cfg, &args.crash));
+    }
     match run_traced(&args.experiment, &args.cfg, args.limit, args.obs.as_deref()) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {

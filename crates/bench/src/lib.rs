@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod figs_ibm;
 pub mod figs_motivation;
 pub mod figs_perf;

@@ -24,10 +24,14 @@
 //! loss 1, zero demands at loss 0.
 
 use flexile_core::online::{online_allocate_robust, DegradationLevel, OnlineOutcome};
-use flexile_core::FlexileDesign;
+use flexile_core::{
+    decompose_resume, killpoints, solve_flexile, CheckpointError, DecompositionAborted,
+    FlexileDesign, FlexileOptions, KillPoint,
+};
 use flexile_lp::fault::{self, FaultInjector};
 use flexile_scenario::{FailureUnit, Scenario, ScenarioSet};
 use flexile_traffic::Instance;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// One timed event in a chaos trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,10 +250,99 @@ pub fn run_chaos(
     report
 }
 
+// ---------------------------------------------------------------------------
+// Offline-decomposition chaos: crash-and-resume cycles
+// ---------------------------------------------------------------------------
+
+/// Record of a [`run_with_kills`] crash-and-resume cycle.
+#[derive(Debug, Clone)]
+pub struct CrashCycleReport {
+    /// The final design, after every armed fault fired and every crash was
+    /// resumed.
+    pub design: FlexileDesign,
+    /// Iterations at which armed [`KillPoint::Abort`]s actually unwound
+    /// the decomposition, in firing order (repeats are possible: an abort
+    /// re-armed for the same iteration fires again after the resume
+    /// replays back to it).
+    pub aborts: Vec<usize>,
+    /// Successful [`decompose_resume`] continuations.
+    pub resumes: usize,
+    /// Crashes that happened before the first checkpoint existed, forcing
+    /// a restart from scratch instead of a resume.
+    pub scratch_restarts: usize,
+}
+
+/// Drive the offline decomposition through a set of armed kill-points,
+/// resuming from the checkpoint after every simulated process death until
+/// the run completes.
+///
+/// [`KillPoint::Worker`] faults are contained inside the pool and need no
+/// handling here; [`KillPoint::Abort`] faults unwind `solve_flexile`, are
+/// caught (recognized by their [`DecompositionAborted`] payload — any
+/// other panic is re-raised), and answered with [`decompose_resume`]. A
+/// crash that predates the first checkpoint restarts from scratch, which
+/// is exactly what a supervising process would do.
+///
+/// Kill-points are process-global: callers running tests in parallel must
+/// serialize, same as with [`flexile_lp::fault`] injection.
+pub fn run_with_kills(
+    inst: &Instance,
+    set: &ScenarioSet,
+    opts: &FlexileOptions,
+    kills: &[KillPoint],
+) -> Result<CrashCycleReport, CheckpointError> {
+    assert!(
+        opts.checkpoint_dir.is_some() || kills.iter().all(|k| matches!(k, KillPoint::Worker { .. })),
+        "aborts without a checkpoint directory cannot make progress"
+    );
+    let _guard = killpoints::arm(kills);
+    let mut aborts = Vec::new();
+    let mut resumes = 0usize;
+    let mut scratch_restarts = 0usize;
+    let mut next_is_resume = false;
+    // Each armed abort fires at most once and each crash costs at most one
+    // failed resume attempt, so the cycle terminates within 2·kills + 1
+    // passes; the last one is the clean completion.
+    for _ in 0..=2 * kills.len() {
+        let attempt = if next_is_resume {
+            catch_unwind(AssertUnwindSafe(|| decompose_resume(inst, set, opts)))
+        } else {
+            catch_unwind(AssertUnwindSafe(|| Ok(solve_flexile(inst, set, opts))))
+        };
+        match attempt {
+            Ok(Ok(design)) => {
+                if next_is_resume {
+                    resumes += 1;
+                }
+                return Ok(CrashCycleReport { design, aborts, resumes, scratch_restarts });
+            }
+            // Resume found no checkpoint (the crash predates the first
+            // boundary): restart from scratch on the next pass.
+            Ok(Err(CheckpointError::Io(_))) => {
+                scratch_restarts += 1;
+                next_is_resume = false;
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => match payload.downcast_ref::<DecompositionAborted>() {
+                Some(a) => {
+                    if next_is_resume {
+                        // The resume made progress up to the next armed abort.
+                        resumes += 1;
+                    }
+                    aborts.push(a.iteration);
+                    next_is_resume = true;
+                }
+                // A genuine bug, not chaos: propagate.
+                None => resume_unwind(payload),
+            },
+        }
+    }
+    unreachable!("more crashes than armed kill-points");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexile_core::{solve_flexile, FlexileOptions};
     use flexile_lp::FaultKind;
     use flexile_scenario::{enumerate_scenarios, model::link_units, EnumOptions};
     use flexile_topo::{NodeId, Topology, TunnelClass, TunnelSet};
@@ -358,5 +451,119 @@ mod tests {
             assert_eq!(built.cap_factor, scen.cap_factor);
             assert!((built.prob - scen.prob).abs() < 1e-12);
         }
+    }
+
+    // -- crash-and-resume cycles --------------------------------------------
+
+    /// Kill-points are process-global; these tests serialize on one lock
+    /// and silence the default panic printer for chaos panics only.
+    static CHAOS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn chaos_serial() -> std::sync::MutexGuard<'static, ()> {
+        static QUIET: std::sync::Once = std::sync::Once::new();
+        QUIET.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let p = info.payload();
+                let chaos = p.downcast_ref::<DecompositionAborted>().is_some()
+                    || p.downcast_ref::<String>()
+                        .is_some_and(|m| m.starts_with("chaos kill-point"));
+                if !chaos {
+                    prev(info);
+                }
+            }));
+        });
+        CHAOS.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("flexile-emu-chaos-{}-{}", std::process::id(), tag));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn bits(d: &FlexileDesign) -> (u64, Vec<Vec<bool>>) {
+        (d.penalty.to_bits(), d.critical.clone())
+    }
+
+    /// Fig. 1 with the explicit 99% requirement and full-unit demands: the
+    /// master has slack to shed criticality, so the decomposition runs
+    /// multiple iterations and iteration-2 kill-points actually fire.
+    fn fig1_iterating() -> (Instance, ScenarioSet) {
+        let (mut inst, _, _) = fig1();
+        inst.classes[0].beta = 0.99;
+        inst.demands = vec![vec![1.0, 1.0]];
+        let units = link_units(&inst.topo, &[0.01, 0.01, 0.01]);
+        let set = enumerate_scenarios(
+            &units,
+            3,
+            &EnumOptions { prob_cutoff: 0.0, max_scenarios: 8, coverage_target: 2.0 },
+        );
+        (inst, set)
+    }
+
+    #[test]
+    fn repeated_crash_at_same_iteration_resumes_to_identical_design() {
+        let _g = chaos_serial();
+        let (inst, set) = fig1_iterating();
+        let clean = solve_flexile(&inst, &set, &FlexileOptions::default());
+        let dir = ckpt_dir("repeat");
+        let opts = FlexileOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            ..Default::default()
+        };
+        // Two aborts armed for the same iteration: the resume replays back
+        // to iteration 2 and dies there a second time before completing.
+        let kills =
+            [KillPoint::Abort { iteration: 2 }, KillPoint::Abort { iteration: 2 }];
+        let report = run_with_kills(&inst, &set, &opts, &kills).expect("cycle completes");
+        assert_eq!(report.aborts, vec![2, 2]);
+        assert_eq!(report.resumes, 2);
+        assert_eq!(report.scratch_restarts, 0);
+        assert_eq!(bits(&report.design), bits(&clean), "resumed design diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_first_checkpoint_restarts_from_scratch() {
+        let _g = chaos_serial();
+        let (inst, set) = fig1_iterating();
+        let clean = solve_flexile(&inst, &set, &FlexileOptions::default());
+        let dir = ckpt_dir("scratch");
+        let opts = FlexileOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            ..Default::default()
+        };
+        let kills = [KillPoint::Abort { iteration: 1 }];
+        let report = run_with_kills(&inst, &set, &opts, &kills).expect("cycle completes");
+        assert_eq!(report.aborts, vec![1]);
+        assert_eq!(report.scratch_restarts, 1);
+        assert_eq!(report.resumes, 0);
+        assert_eq!(bits(&report.design), bits(&clean));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_kills_mixed_with_aborts_still_converge() {
+        let _g = chaos_serial();
+        let (inst, set) = fig1_iterating();
+        let dir = ckpt_dir("mixed");
+        let opts = FlexileOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            ..Default::default()
+        };
+        let kills = [
+            KillPoint::Worker { iteration: 1, scenario: 0 },
+            KillPoint::Abort { iteration: 2 },
+            KillPoint::Worker { iteration: 2, scenario: 1 },
+        ];
+        let report = run_with_kills(&inst, &set, &opts, &kills).expect("cycle completes");
+        assert_eq!(report.aborts, vec![2]);
+        assert!(report.design.penalty < 1e-6, "penalty {}", report.design.penalty);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

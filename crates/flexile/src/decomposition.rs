@@ -27,13 +27,26 @@
 //! evaluated exactly (sort per-flow losses, take β quantiles); the best
 //! incumbent across iterations is returned, along with per-iteration
 //! statistics for the Fig. 14 convergence experiment.
+//!
+//! ## Crash safety
+//!
+//! The loop's entire mutable state lives in a [`BendersState`] that can be
+//! checkpointed at iteration boundaries (see [`crate::checkpoint`]) and
+//! restored by [`decompose_resume`], which replays each scenario's solve
+//! chain to re-warm the pool and then continues to a final solution
+//! bit-identical to an uninterrupted run. Worker panics are contained and
+//! quarantined inside the pool; a watchdog deadline (off by default)
+//! cold-restarts warm solves that hang.
 
+use crate::checkpoint::{self, BestIncumbent, CheckpointError, CheckpointState};
 use crate::master::{solve_master, CutPool, MasterOptions};
-use crate::pool::{with_pool, IterationSolver, LegacyStriped, PoolCtx};
+use crate::pool::{with_pool, IterationSolver, LegacyStriped, PoolCtx, PoolError, PoolSnapshot};
 use crate::subproblem::{SubproblemSolution, SubproblemTemplate};
 use flexile_metrics::{perc_loss, LossMatrix};
 use flexile_scenario::ScenarioSet;
 use flexile_traffic::Instance;
+use std::path::PathBuf;
+use std::time::Duration;
 
 pub use crate::pool::PoolPolicy;
 
@@ -64,6 +77,22 @@ pub struct FlexileOptions {
     /// this. Deliberately generous: a template is small next to the
     /// scenario set itself.
     pub basis_residency: usize,
+    /// Watchdog deadline for each subproblem's warm fast path: a warm
+    /// restart that exceeds it is abandoned, its basis quarantined, and the
+    /// solve cold-restarted through the `solve_robust` ladder (whose Bland
+    /// rung terminates provably). `None` (default) disables the watchdog
+    /// and preserves exact bit-reproducibility; with it armed, outcomes can
+    /// depend on wall clock.
+    pub watchdog: Option<Duration>,
+    /// Directory to write crash-recovery checkpoints into (as
+    /// `flexile.ckpt`); `None` (default) disables checkpointing. The
+    /// zero-fault trajectory is unaffected either way — checkpointing only
+    /// *reads* solver state.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint every this many iteration boundaries (the final
+    /// state is always written when a directory is configured). Values are
+    /// clamped to ≥ 1.
+    pub checkpoint_every: usize,
 }
 
 impl Default for FlexileOptions {
@@ -76,12 +105,15 @@ impl Default for FlexileOptions {
             prune: true,
             pool: PoolPolicy::default(),
             basis_residency: 4096,
+            watchdog: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
         }
     }
 }
 
 /// Statistics of one decomposition iteration (Fig. 14 / Fig. 15 inputs).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationStat {
     /// 1-based iteration number.
     pub iteration: usize,
@@ -155,15 +187,17 @@ pub fn evaluate_criticality(
         .sum()
 }
 
-/// Run Flexile's offline phase.
-pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) -> FlexileDesign {
+/// Precomputed, deterministic derivations from the problem definition
+/// (identical for a fresh run and a resume).
+struct Prepared {
+    betas: Vec<f64>,
+    allowed: Vec<Vec<bool>>,
+    loss_ub: Option<Vec<Vec<f64>>>,
+}
+
+fn prepare(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) -> Prepared {
     let nf = inst.num_flows();
-    let nq = set.scenarios.len();
     let betas = crate::effective_betas(inst, set);
-    let mut solve_span = flexile_obs::span("flexile.solve", "flexile")
-        .field("flows", nf)
-        .field("scenarios", nq)
-        .field("classes", inst.num_classes());
 
     // Connectivity matrix: z may be 1 only where the flow has a live tunnel.
     let allowed: Vec<Vec<bool>> = (0..nf)
@@ -199,22 +233,266 @@ pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) 
             .collect()
     });
 
-    let ctx = PoolCtx { inst, set, loss_ub: loss_ub.as_deref() };
-    let design = match opts.pool {
+    Prepared { betas, allowed, loss_ub }
+}
+
+/// Run Flexile's offline phase.
+pub fn solve_flexile(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) -> FlexileDesign {
+    let nf = inst.num_flows();
+    let nq = set.scenarios.len();
+    let mut solve_span = flexile_obs::span("flexile.solve", "flexile")
+        .field("flows", nf)
+        .field("scenarios", nq)
+        .field("classes", inst.num_classes());
+    let prep = prepare(inst, set, opts);
+    let state = BendersState::fresh(&prep.allowed, nq);
+    let design = dispatch(inst, set, opts, &prep, state, None);
+    solve_span.set("penalty", design.penalty);
+    solve_span.set("iterations", design.iterations.len());
+    design
+}
+
+/// Resume a decomposition from the checkpoint in
+/// `opts.checkpoint_dir`, continuing to the same final design an
+/// uninterrupted run would have produced.
+///
+/// The checkpoint must match the given problem and options bit-for-bit
+/// (validated by fingerprint); version or checksum mismatches are refused
+/// with a typed [`CheckpointError`]. The pool is re-warmed by replaying
+/// each scenario's checkpointed solve chain — warm bases are never
+/// persisted — after which the continuation is bit-identical to the
+/// original trajectory (watchdog disabled; see
+/// [`FlexileOptions::watchdog`]).
+pub fn decompose_resume(
+    inst: &Instance,
+    set: &ScenarioSet,
+    opts: &FlexileOptions,
+) -> Result<FlexileDesign, CheckpointError> {
+    let dir = opts
+        .checkpoint_dir
+        .as_ref()
+        .ok_or(CheckpointError::NoCheckpointConfigured)?;
+    let ck = checkpoint::read_checkpoint(&checkpoint::checkpoint_path(dir))?;
+    if ck.problem_fp != checkpoint::problem_fingerprint(inst, set)
+        || ck.nf != inst.num_flows()
+        || ck.nq != set.scenarios.len()
+        || ck.na != inst.num_arcs()
+    {
+        return Err(CheckpointError::ProblemMismatch);
+    }
+    if ck.options_fp != checkpoint::options_fingerprint(opts) {
+        return Err(CheckpointError::OptionsMismatch);
+    }
+    let betas = crate::effective_betas(inst, set);
+    if betas.len() != ck.betas.len()
+        || betas.iter().zip(&ck.betas).any(|(a, b)| a.to_bits() != b.to_bits())
+    {
+        return Err(CheckpointError::ProblemMismatch);
+    }
+
+    let mut span = flexile_obs::span("flexile.resume", "flexile")
+        .field("iteration", ck.it)
+        .field("done", ck.done as u64);
+    let state = BendersState::from_checkpoint(&ck)?;
+    let snap = PoolSnapshot { stamps: ck.stamps, chains: ck.chains };
+    let design = if state.done {
+        design_from_state(state, &betas)
+    } else {
+        let prep = prepare(inst, set, opts);
+        dispatch(inst, set, opts, &prep, state, Some((ck.it, snap)))
+    };
+    span.set("penalty", design.penalty);
+    Ok(design)
+}
+
+/// Route a (fresh or restored) state through the configured scheduler.
+fn dispatch(
+    inst: &Instance,
+    set: &ScenarioSet,
+    opts: &FlexileOptions,
+    prep: &Prepared,
+    state: BendersState,
+    restore: Option<(usize, PoolSnapshot)>,
+) -> FlexileDesign {
+    let ctx = PoolCtx {
+        inst,
+        set,
+        loss_ub: prep.loss_ub.as_deref(),
+        watchdog: opts.watchdog,
+    };
+    match opts.pool {
         PoolPolicy::LegacyStriped => {
             let mut solver = LegacyStriped { ctx, threads: opts.threads };
-            run_decomposition(inst, set, opts, &betas, &allowed, &mut solver)
+            if let Some((it, snap)) = &restore {
+                solver.restore(*it, snap);
+            }
+            run_decomposition(inst, set, opts, &prep.betas, &prep.allowed, &mut solver, state)
         }
         PoolPolicy::PerScenario | PoolPolicy::Cold => {
             let residency = if opts.pool == PoolPolicy::Cold { 0 } else { opts.basis_residency };
             with_pool(ctx, opts.threads.max(1), residency, |solver| {
-                run_decomposition(inst, set, opts, &betas, &allowed, solver)
+                if let Some((it, snap)) = &restore {
+                    solver.restore(*it, snap);
+                }
+                run_decomposition(inst, set, opts, &prep.betas, &prep.allowed, solver, state)
             })
         }
-    };
-    solve_span.set("penalty", design.penalty);
-    solve_span.set("iterations", design.iterations.len());
-    design
+    }
+}
+
+/// Best incumbent: (penalty, criticality, loss matrix, per-class alpha).
+type Incumbent = (f64, Vec<Vec<bool>>, Vec<Vec<f64>>, Vec<f64>);
+
+/// The complete mutable state of the Algorithm-1 loop, separated out so an
+/// iteration boundary can be checkpointed and restored.
+struct BendersState {
+    /// Last completed iteration (0 = none yet).
+    it: usize,
+    /// Criticality proposal for the next iteration.
+    z: Vec<Vec<bool>>,
+    pool: CutPool,
+    cached_loss: Vec<Option<Vec<f64>>>,
+    cached_value: Vec<f64>,
+    last_z_col: Vec<Option<Vec<bool>>>,
+    perfect: Vec<bool>,
+    best: Option<Incumbent>,
+    iterations: Vec<IterationStat>,
+    /// Lower bound from the most recent master solve; the master lags the
+    /// subproblems by one iteration, so iteration 1 has no bound yet.
+    last_bound: Option<f64>,
+    /// Converged or exhausted the iteration budget.
+    done: bool,
+}
+
+impl BendersState {
+    fn fresh(allowed: &[Vec<bool>], nq: usize) -> Self {
+        BendersState {
+            it: 0,
+            // Starting heuristic: everything connected is critical.
+            z: allowed.to_vec(),
+            pool: CutPool::new(nq),
+            cached_loss: vec![None; nq],
+            cached_value: vec![f64::INFINITY; nq],
+            last_z_col: vec![None; nq],
+            perfect: vec![false; nq],
+            best: None,
+            iterations: Vec::new(),
+            last_bound: None,
+            done: false,
+        }
+    }
+
+    fn from_checkpoint(ck: &CheckpointState) -> Result<Self, CheckpointError> {
+        // Checkpoints are only written at iteration boundaries, where an
+        // incumbent always exists; a valid-checksum file claiming otherwise
+        // was hand-crafted.
+        if ck.it == 0 || ck.best.is_none() {
+            return Err(CheckpointError::Malformed("checkpoint without a completed iteration"));
+        }
+        let b = ck.best.as_ref().expect("checked above");
+        Ok(BendersState {
+            it: ck.it,
+            z: ck.z.clone(),
+            pool: CutPool { cuts: ck.cuts.clone() },
+            cached_loss: ck.cached_loss.clone(),
+            cached_value: ck.cached_value.clone(),
+            last_z_col: ck.last_z_col.clone(),
+            perfect: ck.perfect.clone(),
+            best: Some((b.penalty, b.critical.clone(), b.loss.clone(), b.alpha.clone())),
+            iterations: ck.iterations.clone(),
+            last_bound: ck.last_bound,
+            done: ck.done,
+        })
+    }
+
+    fn to_checkpoint(
+        &self,
+        plan: &CheckpointPlan,
+        snap: PoolSnapshot,
+        betas: &[f64],
+    ) -> CheckpointState {
+        CheckpointState {
+            problem_fp: plan.problem_fp,
+            options_fp: plan.options_fp,
+            nf: plan.nf,
+            nq: plan.nq,
+            na: plan.na,
+            it: self.it,
+            done: self.done,
+            z: self.z.clone(),
+            cuts: self.pool.cuts.clone(),
+            cached_loss: self.cached_loss.clone(),
+            cached_value: self.cached_value.clone(),
+            last_z_col: self.last_z_col.clone(),
+            perfect: self.perfect.clone(),
+            stamps: snap.stamps,
+            chains: snap.chains,
+            best: self.best.as_ref().map(|(penalty, critical, loss, alpha)| BestIncumbent {
+                penalty: *penalty,
+                critical: critical.clone(),
+                loss: loss.clone(),
+                alpha: alpha.clone(),
+            }),
+            iterations: self.iterations.clone(),
+            last_bound: self.last_bound,
+            betas: betas.to_vec(),
+        }
+    }
+}
+
+/// Where and how often to checkpoint.
+struct CheckpointPlan {
+    path: Option<PathBuf>,
+    every: usize,
+    problem_fp: u64,
+    options_fp: u64,
+    nf: usize,
+    nq: usize,
+    na: usize,
+}
+
+impl CheckpointPlan {
+    fn new(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) -> Self {
+        CheckpointPlan {
+            path: opts
+                .checkpoint_dir
+                .as_ref()
+                .map(|d| checkpoint::checkpoint_path(d)),
+            every: opts.checkpoint_every.max(1),
+            problem_fp: checkpoint::problem_fingerprint(inst, set),
+            options_fp: checkpoint::options_fingerprint(opts),
+            nf: inst.num_flows(),
+            nq: set.scenarios.len(),
+            na: inst.num_arcs(),
+        }
+    }
+
+    /// Write a snapshot if this boundary is due. A write failure degrades
+    /// to a counter (`flexile.checkpoint_error`) rather than killing a run
+    /// that is otherwise healthy.
+    fn maybe_write(&self, state: &BendersState, solver: &dyn IterationSolver, betas: &[f64]) {
+        let Some(path) = &self.path else { return };
+        if !state.done && !state.it.is_multiple_of(self.every) {
+            return;
+        }
+        let ck = state.to_checkpoint(self, solver.snapshot(), betas);
+        if checkpoint::write_checkpoint(path, &ck).is_err() {
+            flexile_obs::add("flexile.checkpoint_error", 1);
+        }
+    }
+}
+
+fn design_from_state(state: BendersState, betas: &[f64]) -> FlexileDesign {
+    let (penalty, critical, offline_loss, alpha) =
+        state.best.expect("at least one iteration ran");
+    FlexileDesign {
+        critical,
+        alpha,
+        penalty,
+        betas: betas.to_vec(),
+        offline_loss,
+        iterations: state.iterations,
+    }
 }
 
 /// The Algorithm-1 iteration loop, generic over how an iteration's
@@ -226,27 +504,14 @@ fn run_decomposition(
     betas: &[f64],
     allowed: &[Vec<bool>],
     solver: &mut dyn IterationSolver,
+    mut state: BendersState,
 ) -> FlexileDesign {
     let nf = inst.num_flows();
     let nq = set.scenarios.len();
+    let plan = CheckpointPlan::new(inst, set, opts);
 
-    // Starting heuristic: everything connected is critical.
-    let mut z = allowed.to_vec();
-    let mut pool = CutPool::new(nq);
-    let mut cached_loss: Vec<Option<Vec<f64>>> = vec![None; nq];
-    let mut cached_value: Vec<f64> = vec![f64::INFINITY; nq];
-    let mut last_z_col: Vec<Option<Vec<bool>>> = vec![None; nq];
-    let mut perfect: Vec<bool> = vec![false; nq];
-
-    // Best incumbent: (penalty, criticality, loss matrix, per-class alpha).
-    type Incumbent = (f64, Vec<Vec<bool>>, Vec<Vec<f64>>, Vec<f64>);
-    let mut best: Option<Incumbent> = None;
-    let mut iterations = Vec::new();
-    // Lower bound from the most recent master solve; the master lags the
-    // subproblems by one iteration, so iteration 1 has no bound yet.
-    let mut last_bound: Option<f64> = None;
-
-    for it in 1..=opts.max_iterations {
+    while !state.done && state.it < opts.max_iterations {
+        let it = state.it + 1;
         let mut iter_span = flexile_obs::span("flexile.iteration", "flexile").field("iteration", it);
         // Decide which scenarios need solving.
         let todo: Vec<usize> = (0..nq)
@@ -254,11 +519,11 @@ fn run_decomposition(
                 if !opts.prune {
                     return true;
                 }
-                if perfect[q] {
+                if state.perfect[q] {
                     return false;
                 }
-                let col: Vec<bool> = (0..nf).map(|f| z[f][q]).collect();
-                last_z_col[q].as_ref() != Some(&col)
+                let col: Vec<bool> = (0..nf).map(|f| state.z[f][q]).collect();
+                state.last_z_col[q].as_ref() != Some(&col)
             })
             .collect();
         let pruned = nq - todo.len();
@@ -270,14 +535,21 @@ fn run_decomposition(
 
         // Solve subproblems through the configured scheduler. Workers never
         // panic on solver failures: each scenario's result is a `Result`,
-        // and a terminal LP error just marks the scenario unsolved for this
-        // iteration (pessimistic losses, no cut, retried next round) instead
-        // of taking the whole decomposition down.
+        // and a terminal LP error — or a contained-and-retried panic that
+        // exhausted its retries ([`PoolError::ScenarioPoisoned`]) — just
+        // marks the scenario unsolved for this iteration (pessimistic
+        // losses, no cut, retried next round) instead of taking the whole
+        // decomposition down.
         let cols: Vec<Vec<bool>> =
-            todo.iter().map(|&q| (0..nf).map(|f| z[f][q]).collect()).collect();
-        let outputs = solver.solve_iteration(&todo, cols);
+            todo.iter().map(|&q| (0..nf).map(|f| state.z[f][q]).collect()).collect();
+        let outputs = solver.solve_iteration(it, &todo, cols);
 
         drop(sub_span);
+        // Chaos hook: an armed Abort kill-point unwinds the decomposition
+        // here — after the fan-out, before any of iteration `it`'s state
+        // lands — simulating process death mid-iteration. Nothing below
+        // this line has happened as far as the last checkpoint knows.
+        crate::killpoints::maybe_fire_abort(it);
 
         let mut results: Vec<Option<SubproblemSolution>> = vec![None; nq];
         // Boolean failure mask (indexed by scenario) instead of a membership
@@ -299,7 +571,10 @@ fn run_decomposition(
                     }
                     results[q] = Some(sol);
                 }
-                Err(_) => {
+                Err(e) => {
+                    if matches!(e, PoolError::ScenarioPoisoned { .. }) {
+                        flexile_obs::add("flexile.scenario_poisoned", 1);
+                    }
                     failed_mask[q] = true;
                     nfailed += 1;
                 }
@@ -317,9 +592,9 @@ fn run_decomposition(
         flexile_obs::add("flexile.scenarios_retried", nfailed);
         for q in 0..nq {
             if failed_mask[q] {
-                cached_loss[q] = None;
-                cached_value[q] = f64::INFINITY;
-                last_z_col[q] = None;
+                state.cached_loss[q] = None;
+                state.cached_value[q] = f64::INFINITY;
+                state.last_z_col[q] = None;
             }
         }
 
@@ -330,20 +605,20 @@ fn run_decomposition(
             let sol = results[q].take().expect("solved scenario missing");
             // Perfect-scenario pruning: zero penalty with the maximal
             // criticality column can never bind later.
-            let col: Vec<bool> = (0..nf).map(|f| z[f][q]).collect();
+            let col: Vec<bool> = (0..nf).map(|f| state.z[f][q]).collect();
             if sol.value < 1e-9 && col == allowed.iter().map(|r| r[q]).collect::<Vec<bool>>() {
-                perfect[q] = true;
+                state.perfect[q] = true;
                 if opts.prune {
                     // Never solved again: drop its pooled template early.
                     solver.retire(q);
                 }
             }
-            cached_loss[q] = Some(sol.loss.clone());
-            cached_value[q] = sol.value;
-            last_z_col[q] = Some(col);
+            state.cached_loss[q] = Some(sol.loss.clone());
+            state.cached_value[q] = sol.value;
+            state.last_z_col[q] = Some(col);
             if sol.value > 1e-9 {
                 flexile_obs::add("flexile.cuts_added", 1);
-                pool.push(q, sol.cut);
+                state.pool.push(q, sol.cut);
             }
         }
 
@@ -351,7 +626,7 @@ fn run_decomposition(
         let loss_matrix: Vec<Vec<f64>> = (0..nf)
             .map(|f| {
                 (0..nq)
-                    .map(|q| cached_loss[q].as_ref().map_or(1.0, |l| l[f]))
+                    .map(|q| state.cached_loss[q].as_ref().map_or(1.0, |l| l[f]))
                     .collect()
             })
             .collect();
@@ -364,20 +639,20 @@ fn run_decomposition(
             .zip(inst.classes.iter())
             .map(|(a, c)| a * c.weight)
             .sum();
-        if best.as_ref().is_none_or(|(bp, ..)| penalty < *bp - 1e-12) {
-            best = Some((penalty, z.clone(), loss_matrix, alphas));
+        if state.best.as_ref().is_none_or(|(bp, ..)| penalty < *bp - 1e-12) {
+            state.best = Some((penalty, state.z.clone(), loss_matrix, alphas));
         }
-        let upper = best.as_ref().map(|b| b.0).unwrap_or(penalty);
+        let upper = state.best.as_ref().map(|b| b.0).unwrap_or(penalty);
         if flexile_obs::enabled() {
             let mut ev = flexile_obs::event("flexile.bound_gap", "flexile")
                 .field("iteration", it)
                 .field("upper", upper);
-            if let Some(lb) = last_bound {
+            if let Some(lb) = state.last_bound {
                 ev = ev.field("lower", lb);
             }
             drop(ev); // recorded on drop
         }
-        iterations.push(IterationStat {
+        state.iterations.push(IterationStat {
             iteration: it,
             penalty: upper,
             solved: todo.len(),
@@ -386,30 +661,27 @@ fn run_decomposition(
             warm_hits,
             dual_restarts,
         });
+        state.it = it;
 
         if it == opts.max_iterations {
-            break;
+            state.done = true;
+        } else {
+            // Master proposes the next z.
+            let master_span = flexile_obs::span("flexile.master", "flexile").field("iteration", it);
+            let (next_z, bound) =
+                solve_master(inst, set, &state.pool, allowed, betas, &state.z, &opts.master);
+            drop(master_span);
+            state.last_bound = Some(bound);
+            if next_z == state.z {
+                state.done = true; // converged
+            } else {
+                state.z = next_z;
+            }
         }
-        // Master proposes the next z.
-        let master_span = flexile_obs::span("flexile.master", "flexile").field("iteration", it);
-        let (next_z, bound) = solve_master(inst, set, &pool, allowed, betas, &z, &opts.master);
-        drop(master_span);
-        last_bound = Some(bound);
-        if next_z == z {
-            break; // converged
-        }
-        z = next_z;
+        plan.maybe_write(&state, solver, betas);
     }
 
-    let (penalty, critical, offline_loss, alpha) = best.expect("at least one iteration ran");
-    FlexileDesign {
-        critical,
-        alpha,
-        penalty,
-        betas: betas.to_vec(),
-        offline_loss,
-        iterations,
-    }
+    design_from_state(state, betas)
 }
 
 #[cfg(test)]

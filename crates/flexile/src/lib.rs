@@ -27,11 +27,17 @@
 //!   higher classes.
 //! * [`capacity`] (§4.4/appendix D) — minimum-cost capacity augmentation to
 //!   meet PercLoss targets.
+//! * [`checkpoint`] / [`killpoints`] — crash safety: versioned, checksummed
+//!   snapshots of the decomposition state written at iteration boundaries
+//!   (resumed by [`decompose_resume`]), and deterministic kill-points for
+//!   chaos-testing the panic-contained scenario pool.
 
 #![warn(missing_docs)]
 
 pub mod capacity;
+pub mod checkpoint;
 pub mod decomposition;
+pub mod killpoints;
 pub mod lexicographic;
 pub mod master;
 pub mod model;
@@ -39,9 +45,13 @@ pub mod online;
 pub(crate) mod pool;
 pub mod subproblem;
 
+pub use checkpoint::{CheckpointError, CHECKPOINT_VERSION};
 pub use decomposition::{
-    solve_flexile, DecompositionOptions, FlexileDesign, FlexileOptions, IterationStat, PoolPolicy,
+    decompose_resume, solve_flexile, DecompositionOptions, FlexileDesign, FlexileOptions,
+    IterationStat, PoolPolicy,
 };
+pub use killpoints::{DecompositionAborted, KillGuard, KillPoint};
+pub use pool::{PoolError, MAX_PANIC_RETRIES};
 pub use lexicographic::{solve_flexile_lexicographic, LexicographicDesign};
 pub use model::{solve_ip, IpOptions, IpResult};
 pub use online::{

@@ -26,6 +26,29 @@
 //!   solve's warm-start history — is deterministic regardless of thread
 //!   count or timing). A residency of 0 is the cold-every-iteration policy.
 //!
+//! ## Crash safety
+//!
+//! A panic inside a subproblem solve is **contained**: the solve runs under
+//! `catch_unwind`, the panicking scenario's template is *quarantined*
+//! (dropped, so the next attempt rebuilds it cold), and the solve is
+//! retried in place up to [`MAX_PANIC_RETRIES`] times. A scenario that
+//! keeps panicking surfaces a typed [`PoolError::ScenarioPoisoned`] —
+//! which the decomposition treats like any other failed solve (pessimistic
+//! losses, retried next iteration) — instead of aborting the run. Every
+//! lock acquisition recovers from mutex poisoning (a panicked worker leaves
+//! each structure in a consistent state: templates are quarantined, queues
+//! only ever append), so one contained panic cannot cascade into
+//! process-wide `PoisonError` unwinding. Counted as
+//! `flexile.worker_panic` / `flexile.scenario_quarantined`.
+//!
+//! For checkpointing, each slot additionally records the scenario's
+//! **solve-column history** — the criticality columns successfully solved
+//! since the template's last cold start. Replaying that chain through a
+//! fresh template reconstructs the warm basis bit-for-bit (scenario solve
+//! sequences are independent of each other by construction), which is how
+//! [`crate::decompose_resume`] re-warms the pool without ever persisting a
+//! basis.
+//!
 //! Determinism: scenario `q`'s solve sequence depends only on its own solve
 //! history (its template is locked per solve and touched by no other
 //! scenario), so the decomposition output is bit-identical across thread
@@ -36,9 +59,15 @@ use crate::subproblem::{SolveStats, SubproblemSolution, SubproblemTemplate};
 use flexile_lp::LpError;
 use flexile_scenario::ScenarioSet;
 use flexile_traffic::Instance;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Contained panics tolerated per scenario *per dispatch* before the
+/// scenario is reported as poisoned for the iteration.
+pub const MAX_PANIC_RETRIES: u32 = 2;
 
 /// How the decomposition schedules and reuses subproblem solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,8 +85,83 @@ pub enum PoolPolicy {
     Cold,
 }
 
+/// Why a scenario's solve failed this iteration. Solver verdicts pass
+/// through; the panic-containment variants carry which worker/scenario
+/// failed and how, so nothing is lost when a worker dies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// The LP itself failed (see [`LpError`] for the retry taxonomy).
+    Solver(LpError),
+    /// The scenario's solve panicked more than [`MAX_PANIC_RETRIES`] times
+    /// in a row, each retry from a cold-rebuilt template. The scenario is
+    /// skipped this iteration (pessimistic losses) and retried next round.
+    ScenarioPoisoned {
+        /// Scenario whose solves kept panicking.
+        scenario: usize,
+        /// Worker that performed the final attempt.
+        worker: usize,
+        /// Attempts made (initial + retries).
+        attempts: u32,
+        /// Panic payload of the final attempt, stringified.
+        message: String,
+    },
+    /// A worker died outside the contained solve region (legacy scheduler
+    /// only); the scenario's result was lost.
+    WorkerPanicked {
+        /// Scenario whose result was lost.
+        scenario: usize,
+        /// Worker (stripe index) that panicked.
+        worker: usize,
+        /// Panic payload, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Solver(e) => write!(f, "subproblem solver error: {e}"),
+            PoolError::ScenarioPoisoned { scenario, worker, attempts, message } => write!(
+                f,
+                "scenario {scenario} poisoned after {attempts} panicking attempts \
+                 (last on worker {worker}): {message}"
+            ),
+            PoolError::WorkerPanicked { scenario, worker, message } => {
+                write!(f, "worker {worker} panicked; scenario {scenario} lost: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<LpError> for PoolError {
+    fn from(e: LpError) -> Self {
+        PoolError::Solver(e)
+    }
+}
+
 /// One scenario's outcome in an iteration.
-pub(crate) type ScenResult = (usize, Result<(SubproblemSolution, SolveStats), LpError>);
+pub(crate) type ScenResult = (usize, Result<(SubproblemSolution, SolveStats), PoolError>);
+
+/// Acquire a mutex, recovering the inner value if a previous holder
+/// panicked. Every structure guarded here stays consistent across a panic
+/// (templates are quarantined by the containment path; control queues only
+/// append), so propagating the poison would turn one contained fault into a
+/// process-wide cascade.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Everything a worker needs to build and solve a scenario's subproblem.
 pub(crate) struct PoolCtx<'a> {
@@ -65,6 +169,9 @@ pub(crate) struct PoolCtx<'a> {
     pub set: &'a ScenarioSet,
     /// γ-variant per-scenario loss bounds (§4.4); `None` for the plain form.
     pub loss_ub: Option<&'a [Vec<f64>]>,
+    /// Watchdog deadline for the warm fast path (see
+    /// [`SubproblemTemplate::solve_with_stats_watchdog`]).
+    pub watchdog: Option<Duration>,
 }
 
 impl PoolCtx<'_> {
@@ -77,25 +184,69 @@ impl PoolCtx<'_> {
     }
 }
 
+/// Stamps + per-scenario solve chains, captured at an iteration boundary
+/// for checkpointing and replayed on resume.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct PoolSnapshot {
+    /// Last iteration each scenario's template was used (0 = never/evicted).
+    pub stamps: Vec<u64>,
+    /// Criticality columns successfully solved since each template's last
+    /// cold start. Non-empty exactly for the templates resident at the
+    /// boundary.
+    pub chains: Vec<Vec<Vec<bool>>>,
+}
+
 /// One decomposition iteration's worth of subproblem solving, abstracted so
 /// the iteration loop is policy-independent.
 pub(crate) trait IterationSolver {
     /// Solve every scenario in `todo` (ascending) with the matching
-    /// criticality columns `cols[i]` for `todo[i]`. Returns one result per
-    /// scenario, sorted by scenario index.
-    fn solve_iteration(&mut self, todo: &[usize], cols: Vec<Vec<bool>>) -> Vec<ScenResult>;
+    /// criticality columns `cols[i]` for `todo[i]`, as iteration `it`
+    /// (1-based). Returns one result per scenario, sorted by scenario index.
+    fn solve_iteration(&mut self, it: usize, todo: &[usize], cols: Vec<Vec<bool>>)
+        -> Vec<ScenResult>;
 
     /// The decomposition will never solve `q` again (perfect-scenario
     /// pruning); release whatever is retained for it.
     fn retire(&mut self, q: usize);
+
+    /// Capture the warm-state snapshot for checkpointing. Policies without
+    /// replayable per-scenario state return an empty snapshot (resume then
+    /// continues cold — still correct, just slower and, for the
+    /// thread-timing-dependent legacy striping, not bit-reproducible).
+    fn snapshot(&self) -> PoolSnapshot;
+
+    /// Restore a snapshot taken at the end of iteration `it`: replay each
+    /// scenario's solve chain to rebuild warm bases, and restore the LRU
+    /// stamps. Default: nothing to restore.
+    fn restore(&mut self, it: usize, snap: &PoolSnapshot);
 }
 
-/// An epoch's work order: scenarios plus their criticality columns, claimed
-/// off a shared cursor.
+/// A scenario's pooled state: its long-lived template plus the solve-column
+/// history that makes the template's warm basis reconstructible.
+#[derive(Default)]
+struct Slot {
+    tmpl: Option<SubproblemTemplate>,
+    /// Columns successfully solved since `tmpl` was last built cold.
+    history: Vec<Vec<bool>>,
+}
+
+/// An epoch's work order, claimed off a shared cursor.
+enum JobWork {
+    /// `cols[i]` is the criticality column for `todo[i]`.
+    Solve(Vec<Vec<bool>>),
+    /// `chains[i]` is a full solve-column chain for `todo[i]`, replayed
+    /// sequentially to reconstruct the template's warm basis (results
+    /// discarded by the caller).
+    Replay(Vec<Vec<Vec<bool>>>),
+}
+
 struct Job {
     todo: Vec<usize>,
-    cols: Vec<Vec<bool>>,
+    work: JobWork,
     cursor: AtomicUsize,
+    /// Decomposition iteration (1-based) for kill-point checks; 0 for
+    /// replay epochs, which never fire kill-points.
+    it: usize,
 }
 
 struct Ctl {
@@ -117,9 +268,71 @@ struct Shared {
     done_cv: Condvar,
 }
 
+/// One contained solve of scenario `q`: panics inside the
+/// claim-template-and-solve region quarantine the template and retry from
+/// cold, bounded by [`MAX_PANIC_RETRIES`].
+fn solve_contained(
+    slots: &[Mutex<Slot>],
+    ctx: &PoolCtx<'_>,
+    it: usize,
+    q: usize,
+    col: &[bool],
+    worker: usize,
+) -> Result<(SubproblemSolution, SolveStats), PoolError> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut slot = lock_recover(&slots[q]);
+            let slot = &mut *slot;
+            let rebuilt = slot.tmpl.is_none();
+            let tmpl = slot.tmpl.get_or_insert_with(|| ctx.build_template(q));
+            if it > 0 {
+                crate::killpoints::maybe_fire_worker(it, q);
+            }
+            let _sq = flexile_obs::span("flexile.subproblem", "flexile").field("scenario", q);
+            let res =
+                tmpl.solve_with_stats_watchdog(ctx.inst, &ctx.set.scenarios[q], col, ctx.watchdog);
+            if let Ok((_, stats)) = &res {
+                // Maintain the replayable chain: a cold (re)build or a
+                // watchdog cold-restart starts a fresh chain; every
+                // successful solve extends it.
+                if rebuilt || stats.watchdog_restart {
+                    slot.history.clear();
+                }
+                slot.history.push(col.to_vec());
+            }
+            res
+        }));
+        match outcome {
+            Ok(res) => return res.map_err(PoolError::Solver),
+            Err(payload) => {
+                flexile_obs::add("flexile.worker_panic", 1);
+                // Quarantine: whatever state the panic left the template
+                // in, it is never used again. The next attempt (this retry
+                // or a later iteration) rebuilds cold.
+                {
+                    let mut slot = lock_recover(&slots[q]);
+                    slot.tmpl = None;
+                    slot.history.clear();
+                }
+                flexile_obs::add("flexile.scenario_quarantined", 1);
+                if attempts > MAX_PANIC_RETRIES {
+                    return Err(PoolError::ScenarioPoisoned {
+                        scenario: q,
+                        worker,
+                        attempts,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+    }
+}
+
 fn worker_loop(
     shared: &Shared,
-    slots: &[Mutex<Option<SubproblemTemplate>>],
+    slots: &[Mutex<Slot>],
     ctx: &PoolCtx<'_>,
     id: usize,
     nworkers: usize,
@@ -127,7 +340,7 @@ fn worker_loop(
     let mut my_epoch = 0u64;
     loop {
         let job = {
-            let mut g = shared.ctl.lock().expect("pool lock");
+            let mut g = lock_recover(&shared.ctl);
             loop {
                 if g.shutdown {
                     return;
@@ -136,9 +349,12 @@ fn worker_loop(
                     my_epoch = g.epoch;
                     // The job is installed before the epoch bump under the
                     // same lock, so it is always present here.
-                    break g.job.clone().expect("job set with epoch");
+                    match g.job.clone() {
+                        Some(j) => break j,
+                        None => return,
+                    }
                 }
-                g = shared.work_cv.wait(g).expect("pool lock");
+                g = shared.work_cv.wait(g).unwrap_or_else(PoisonError::into_inner);
             }
         };
         loop {
@@ -151,14 +367,28 @@ fn worker_loop(
             }
             let q = job.todo[i];
             let t0 = Instant::now();
-            let res = {
-                let mut slot = slots[q].lock().expect("scenario slot lock");
-                let tmpl = slot.get_or_insert_with(|| ctx.build_template(q));
-                let _sq = flexile_obs::span("flexile.subproblem", "flexile").field("scenario", q);
-                tmpl.solve_with_stats(ctx.inst, &ctx.set.scenarios[q], &job.cols[i])
+            let res = match &job.work {
+                JobWork::Solve(cols) => solve_contained(slots, ctx, job.it, q, &cols[i], id),
+                JobWork::Replay(chains) => {
+                    // Replay the whole chain; only the last result matters
+                    // (and even it is discarded by restore). A failure
+                    // mid-chain quarantines the slot: the continuation
+                    // simply solves that scenario cold.
+                    let mut last = Err(PoolError::Solver(LpError::IterationLimit));
+                    for col in &chains[i] {
+                        last = solve_contained(slots, ctx, 0, q, col, id);
+                        if last.is_err() {
+                            let mut slot = lock_recover(&slots[q]);
+                            slot.tmpl = None;
+                            slot.history.clear();
+                            break;
+                        }
+                    }
+                    last
+                }
             };
             let busy = t0.elapsed().as_micros() as u64;
-            let mut g = shared.ctl.lock().expect("pool lock");
+            let mut g = lock_recover(&shared.ctl);
             g.worker_busy[id] += busy;
             g.results.push((q, res));
             g.remaining -= 1;
@@ -172,7 +402,7 @@ fn worker_loop(
 /// The main thread's handle to the persistent pool.
 struct PoolHandle<'a> {
     shared: &'a Shared,
-    slots: &'a [Mutex<Option<SubproblemTemplate>>],
+    slots: &'a [Mutex<Slot>],
     residency: usize,
     /// Last iteration each scenario's template was used (0 = never/evicted).
     stamp: Vec<u64>,
@@ -180,6 +410,38 @@ struct PoolHandle<'a> {
 }
 
 impl PoolHandle<'_> {
+    /// Dispatch one epoch to the workers and wait for every result.
+    fn run_epoch(&mut self, todo: Vec<usize>, work: JobWork, it: usize) -> Vec<ScenResult> {
+        let n = todo.len();
+        let observe_wait = matches!(work, JobWork::Solve(_));
+        let wall0 = Instant::now();
+        {
+            let mut g = lock_recover(&self.shared.ctl);
+            g.job = Some(Arc::new(Job { todo, work, cursor: AtomicUsize::new(0), it }));
+            g.epoch += 1;
+            g.remaining = n;
+            g.results = Vec::with_capacity(n);
+            g.worker_busy.iter_mut().for_each(|b| *b = 0);
+            self.shared.work_cv.notify_all();
+        }
+        let mut results = {
+            let mut g = lock_recover(&self.shared.ctl);
+            while g.remaining > 0 {
+                g = self.shared.done_cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            std::mem::take(&mut g.results)
+        };
+        if observe_wait && flexile_obs::enabled() {
+            let wall = wall0.elapsed().as_micros() as u64;
+            let g = lock_recover(&self.shared.ctl);
+            for &busy in &g.worker_busy {
+                flexile_obs::observe("flexile.subproblem_wait", wall.saturating_sub(busy) as f64);
+            }
+        }
+        results.sort_by_key(|&(q, _)| q);
+        results
+    }
+
     /// Enforce the residency budget. Runs only at iteration boundaries (the
     /// workers are parked), so eviction order — oldest last-use first, ties
     /// by lower scenario index — never depends on scheduling.
@@ -188,7 +450,7 @@ impl PoolHandle<'_> {
             .slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.lock().expect("scenario slot lock").is_some())
+            .filter(|(_, s)| lock_recover(s).tmpl.is_some())
             .map(|(q, _)| (self.stamp[q], q))
             .collect();
         if live.len() <= self.residency {
@@ -197,47 +459,26 @@ impl PoolHandle<'_> {
         live.sort_unstable();
         let excess = live.len() - self.residency;
         for &(_, q) in live.iter().take(excess) {
-            *self.slots[q].lock().expect("scenario slot lock") = None;
+            let mut slot = lock_recover(&self.slots[q]);
+            slot.tmpl = None;
+            slot.history.clear();
             self.stamp[q] = 0;
         }
     }
 }
 
 impl IterationSolver for PoolHandle<'_> {
-    fn solve_iteration(&mut self, todo: &[usize], cols: Vec<Vec<bool>>) -> Vec<ScenResult> {
-        self.it += 1;
+    fn solve_iteration(
+        &mut self,
+        it: usize,
+        todo: &[usize],
+        cols: Vec<Vec<bool>>,
+    ) -> Vec<ScenResult> {
+        self.it = it as u64;
         if todo.is_empty() {
             return Vec::new();
         }
-        let wall0 = Instant::now();
-        {
-            let mut g = self.shared.ctl.lock().expect("pool lock");
-            g.job = Some(Arc::new(Job {
-                todo: todo.to_vec(),
-                cols,
-                cursor: AtomicUsize::new(0),
-            }));
-            g.epoch += 1;
-            g.remaining = todo.len();
-            g.results = Vec::with_capacity(todo.len());
-            g.worker_busy.iter_mut().for_each(|b| *b = 0);
-            self.shared.work_cv.notify_all();
-        }
-        let mut results = {
-            let mut g = self.shared.ctl.lock().expect("pool lock");
-            while g.remaining > 0 {
-                g = self.shared.done_cv.wait(g).expect("pool lock");
-            }
-            std::mem::take(&mut g.results)
-        };
-        if flexile_obs::enabled() {
-            let wall = wall0.elapsed().as_micros() as u64;
-            let g = self.shared.ctl.lock().expect("pool lock");
-            for &busy in &g.worker_busy {
-                flexile_obs::observe("flexile.subproblem_wait", wall.saturating_sub(busy) as f64);
-            }
-        }
-        results.sort_by_key(|&(q, _)| q);
+        let results = self.run_epoch(todo.to_vec(), JobWork::Solve(cols), it);
         for &q in todo {
             self.stamp[q] = self.it;
         }
@@ -246,13 +487,44 @@ impl IterationSolver for PoolHandle<'_> {
     }
 
     fn retire(&mut self, q: usize) {
-        *self.slots[q].lock().expect("scenario slot lock") = None;
+        let mut slot = lock_recover(&self.slots[q]);
+        slot.tmpl = None;
+        slot.history.clear();
         self.stamp[q] = 0;
+    }
+
+    fn snapshot(&self) -> PoolSnapshot {
+        // Only called at iteration boundaries (workers parked), so slot
+        // contents are quiescent and consistent with `stamp`.
+        PoolSnapshot {
+            stamps: self.stamp.clone(),
+            chains: self.slots.iter().map(|s| lock_recover(s).history.clone()).collect(),
+        }
+    }
+
+    fn restore(&mut self, it: usize, snap: &PoolSnapshot) {
+        self.it = it as u64;
+        self.stamp = snap.stamps.clone();
+        let todo: Vec<usize> =
+            (0..self.slots.len()).filter(|&q| !snap.chains[q].is_empty()).collect();
+        if todo.is_empty() {
+            return;
+        }
+        let _sp = flexile_obs::span("flexile.rewarm", "flexile").field("scenarios", todo.len());
+        let chains: Vec<Vec<Vec<bool>>> = todo.iter().map(|&q| snap.chains[q].clone()).collect();
+        let results = self.run_epoch(todo, JobWork::Replay(chains), 0);
+        let ok = results.iter().filter(|(_, r)| r.is_ok()).count();
+        flexile_obs::add("flexile.rewarm", ok as u64);
+        // Replay results are discarded: the checkpointed caches remain the
+        // authoritative losses/cuts. Only the warm bases matter here.
     }
 }
 
 /// Run `f` with a persistent scenario pool of `nworkers` threads and the
-/// given basis-residency budget. Workers live exactly as long as `f`.
+/// given basis-residency budget. Workers live exactly as long as `f` —
+/// including when `f` unwinds (e.g. an armed [`crate::killpoints`] abort
+/// simulating process death): a drop guard flips the shutdown flag so the
+/// scope join cannot deadlock on parked workers.
 pub(crate) fn with_pool<R>(
     ctx: PoolCtx<'_>,
     nworkers: usize,
@@ -260,7 +532,7 @@ pub(crate) fn with_pool<R>(
     f: impl FnOnce(&mut dyn IterationSolver) -> R,
 ) -> R {
     let nq = ctx.set.scenarios.len();
-    let slots: Vec<Mutex<Option<SubproblemTemplate>>> = (0..nq).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Slot>> = (0..nq).map(|_| Mutex::new(Slot::default())).collect();
     let shared = Shared {
         ctl: Mutex::new(Ctl {
             epoch: 0,
@@ -273,6 +545,13 @@ pub(crate) fn with_pool<R>(
         work_cv: Condvar::new(),
         done_cv: Condvar::new(),
     };
+    struct ShutdownGuard<'a>(&'a Shared);
+    impl Drop for ShutdownGuard<'_> {
+        fn drop(&mut self) {
+            lock_recover(&self.0.ctl).shutdown = true;
+            self.0.work_cv.notify_all();
+        }
+    }
     std::thread::scope(|s| {
         for id in 0..nworkers {
             let shared = &shared;
@@ -287,10 +566,8 @@ pub(crate) fn with_pool<R>(
             stamp: vec![0; nq],
             it: 0,
         };
-        let r = f(&mut handle);
-        shared.ctl.lock().expect("pool lock").shutdown = true;
-        shared.work_cv.notify_all();
-        r
+        let _shutdown = ShutdownGuard(&shared);
+        f(&mut handle)
     })
 }
 
@@ -298,71 +575,154 @@ pub(crate) fn with_pool<R>(
 /// one template per stripe warm-started across that stripe's (different!)
 /// scenarios, everything dropped when the iteration ends. γ-variant solves
 /// rebuild a template every time, as before.
+///
+/// Panic containment here is quarantine-only (no in-place retry — the
+/// stripe template's warm history is thread-timing-dependent anyway): a
+/// panicking solve drops the stripe's template, reports
+/// [`PoolError::WorkerPanicked`] for that scenario, and the stripe
+/// continues. Should a worker die outside the contained region, its
+/// completed results survive (they are pushed to a shared vector as they
+/// finish) and each of its unfinished scenarios gets a typed error naming
+/// the worker — the old `h.join().expect("worker panicked")` lost all of
+/// that and aborted the process.
 pub(crate) struct LegacyStriped<'a> {
     pub ctx: PoolCtx<'a>,
     pub threads: usize,
 }
 
 impl IterationSolver for LegacyStriped<'_> {
-    fn solve_iteration(&mut self, todo: &[usize], cols: Vec<Vec<bool>>) -> Vec<ScenResult> {
+    fn solve_iteration(
+        &mut self,
+        it: usize,
+        todo: &[usize],
+        cols: Vec<Vec<bool>>,
+    ) -> Vec<ScenResult> {
         if todo.is_empty() {
             return Vec::new();
         }
         let threads = self.threads.max(1).min(todo.len());
         let ctx = &self.ctx;
         let cols = &cols;
-        let mut results: Vec<ScenResult> = std::thread::scope(|s| {
+        let results: Mutex<Vec<ScenResult>> = Mutex::new(Vec::with_capacity(todo.len()));
+        std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
+                    let results = &results;
                     s.spawn(move || {
-                        let mut out = Vec::new();
                         let mut tmpl: Option<SubproblemTemplate> = None;
                         let mut i = t;
                         while i < todo.len() {
                             let q = todo[i];
                             let scen = &ctx.set.scenarios[q];
-                            let _sq = flexile_obs::span("flexile.subproblem", "flexile")
-                                .field("scenario", q);
-                            let res = match ctx.loss_ub {
-                                Some(ub) => {
-                                    let mut fresh = SubproblemTemplate::for_demand_factor(
-                                        ctx.inst,
-                                        Some(ub[q].clone()),
-                                        scen.demand_factor,
-                                    );
-                                    fresh.solve_with_stats(ctx.inst, scen, &cols[i])
-                                }
-                                None => {
-                                    let rebuild = tmpl
-                                        .as_ref()
-                                        .is_none_or(|t| !t.matches_factor(scen.demand_factor));
-                                    if rebuild {
-                                        tmpl = Some(SubproblemTemplate::for_demand_factor(
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                crate::killpoints::maybe_fire_worker(it, q);
+                                let _sq = flexile_obs::span("flexile.subproblem", "flexile")
+                                    .field("scenario", q);
+                                match ctx.loss_ub {
+                                    Some(ub) => {
+                                        let mut fresh = SubproblemTemplate::for_demand_factor(
                                             ctx.inst,
-                                            None,
+                                            Some(ub[q].clone()),
                                             scen.demand_factor,
-                                        ));
+                                        );
+                                        fresh.solve_with_stats_watchdog(
+                                            ctx.inst,
+                                            scen,
+                                            &cols[i],
+                                            ctx.watchdog,
+                                        )
                                     }
-                                    tmpl.as_mut()
-                                        .expect("template built")
-                                        .solve_with_stats(ctx.inst, scen, &cols[i])
+                                    None => {
+                                        let rebuild = tmpl
+                                            .as_ref()
+                                            .is_none_or(|t| !t.matches_factor(scen.demand_factor));
+                                        if rebuild {
+                                            tmpl = Some(SubproblemTemplate::for_demand_factor(
+                                                ctx.inst,
+                                                None,
+                                                scen.demand_factor,
+                                            ));
+                                        }
+                                        tmpl.as_mut()
+                                            .expect("template built")
+                                            .solve_with_stats_watchdog(
+                                                ctx.inst,
+                                                scen,
+                                                &cols[i],
+                                                ctx.watchdog,
+                                            )
+                                    }
+                                }
+                            }));
+                            let res = match outcome {
+                                Ok(r) => r.map_err(PoolError::Solver),
+                                Err(payload) => {
+                                    flexile_obs::add("flexile.worker_panic", 1);
+                                    // Quarantine the stripe template; later
+                                    // scenarios of this stripe rebuild cold.
+                                    tmpl = None;
+                                    flexile_obs::add("flexile.scenario_quarantined", 1);
+                                    Err(PoolError::WorkerPanicked {
+                                        scenario: q,
+                                        worker: t,
+                                        message: panic_message(payload.as_ref()),
+                                    })
                                 }
                             };
-                            out.push((q, res));
+                            lock_recover(results).push((q, res));
                             i += threads;
                         }
-                        out
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
-                .collect()
+            for (t, h) in handles.into_iter().enumerate() {
+                if let Err(payload) = h.join() {
+                    // The worker died outside the contained solve (should
+                    // not happen; belt and braces). Synthesize a typed
+                    // error for each of its unfinished scenarios.
+                    let message = panic_message(payload.as_ref());
+                    let mut g = lock_recover(&results);
+                    let done: Vec<bool> = {
+                        let mut mask = vec![false; todo.len()];
+                        for (q, _) in g.iter() {
+                            if let Some(j) = todo.iter().position(|&tq| tq == *q) {
+                                mask[j] = true;
+                            }
+                        }
+                        mask
+                    };
+                    let mut i = t;
+                    while i < todo.len() {
+                        if !done[i] {
+                            g.push((
+                                todo[i],
+                                Err(PoolError::WorkerPanicked {
+                                    scenario: todo[i],
+                                    worker: t,
+                                    message: message.clone(),
+                                }),
+                            ));
+                        }
+                        i += threads;
+                    }
+                }
+            }
         });
+        let mut results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
         results.sort_by_key(|&(q, _)| q);
         results
     }
 
     fn retire(&mut self, _q: usize) {}
+
+    fn snapshot(&self) -> PoolSnapshot {
+        // No cross-iteration state: checkpoints carry empty chains and a
+        // resume continues with cold templates.
+        PoolSnapshot {
+            stamps: vec![0; self.ctx.set.scenarios.len()],
+            chains: vec![Vec::new(); self.ctx.set.scenarios.len()],
+        }
+    }
+
+    fn restore(&mut self, _it: usize, _snap: &PoolSnapshot) {}
 }

@@ -35,7 +35,7 @@ use flexile_scenario::Scenario;
 use flexile_traffic::Instance;
 
 /// A Benders cut produced by one subproblem solve (eq. 21/22).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cut {
     /// Duals of the criticality rows (10), one per flow; `≥ 0`.
     pub w: Vec<f64>,
@@ -77,6 +77,11 @@ pub struct SolveStats {
     /// Simplex iterations across every attempt of this solve (restart plus
     /// any ladder fallback).
     pub iterations: usize,
+    /// The warm fast path blew its watchdog deadline and the solve was
+    /// cold-restarted through the ladder. The pool uses this to reset the
+    /// scenario's replayable solve chain: after a watchdog restart the
+    /// template's basis descends from a cold solve of *this* column only.
+    pub watchdog_restart: bool,
 }
 
 /// Result of solving one subproblem.
@@ -216,6 +221,31 @@ impl SubproblemTemplate {
         scen: &Scenario,
         z: &[bool],
     ) -> Result<(SubproblemSolution, SolveStats), LpError> {
+        self.solve_with_stats_watchdog(inst, scen, z, None)
+    }
+
+    /// [`Self::solve_with_stats`] with an optional **watchdog deadline** on
+    /// the warm fast path.
+    ///
+    /// The only rung that can stall unboundedly in wall-clock terms is the
+    /// warm dual-restart (a pathological basis chain can cycle through
+    /// near-degenerate pivots); the cold ladder ends in a Bland-rule rung
+    /// with a termination guarantee. So the watchdog arms a deadline on the
+    /// warm path only: if it expires, the saved basis is quarantined
+    /// (dropped), `flexile.watchdog_restart` is counted, and the solve
+    /// cold-restarts through the full [`solve_robust`] ladder with no
+    /// deadline. `None` preserves the exact historical behavior.
+    ///
+    /// Note the watchdog makes solve outcomes wall-clock dependent, so
+    /// bit-identity guarantees (across runs, and for checkpoint resume)
+    /// hold unconditionally only with the watchdog disabled.
+    pub fn solve_with_stats_watchdog(
+        &mut self,
+        inst: &Instance,
+        scen: &Scenario,
+        z: &[bool],
+        watchdog: Option<std::time::Duration>,
+    ) -> Result<(SubproblemSolution, SolveStats), LpError> {
         assert_eq!(z.len(), self.num_flows);
         assert!(
             (scen.demand_factor - self.demand_factor).abs() < 1e-12,
@@ -240,12 +270,20 @@ impl SubproblemTemplate {
         };
         let (sol, stats) = match self.warm.as_ref() {
             Some(warm) => {
-                match self.model.solve_rhs_restart(&rb.budget.simplex_options(), warm) {
+                // Watchdog: bound only the warm restart by wall clock. The
+                // cold ladder below runs deadline-free (its Bland rung
+                // terminates provably).
+                let warm_budget = match watchdog {
+                    Some(w) => rb.budget.and_timeout(w),
+                    None => rb.budget,
+                };
+                match self.model.solve_rhs_restart(&warm_budget.simplex_options(), warm) {
                     Ok((sol, kind)) => {
                         let stats = SolveStats {
                             warm_hit: kind != RestartKind::Cold,
                             dual_restart: kind == RestartKind::DualRestart,
                             iterations: sol.iterations,
+                            watchdog_restart: false,
                         };
                         (sol, stats)
                     }
@@ -255,6 +293,19 @@ impl SubproblemTemplate {
                         let out = solve_robust(&self.model, &rb, self.warm.as_ref());
                         let iterations = out.report.total_iterations();
                         (out.result?, SolveStats { iterations, ..Default::default() })
+                    }
+                    // The armed watchdog fired: the warm basis is presumed
+                    // pathological. Quarantine it and cold-restart through
+                    // the ladder.
+                    Err(LpError::DeadlineExceeded) if watchdog.is_some() => {
+                        self.warm = None;
+                        flexile_obs::add("flexile.watchdog_restart", 1);
+                        let out = solve_robust(&self.model, &rb, None);
+                        let iterations = out.report.total_iterations();
+                        (
+                            out.result?,
+                            SolveStats { iterations, watchdog_restart: true, ..Default::default() },
+                        )
                     }
                     // Verdicts about the model (infeasible, unbounded) and
                     // deadline exhaustion are terminal.
@@ -303,6 +354,20 @@ impl SubproblemTemplate {
     /// The per-flow loss upper bounds in effect (γ variant).
     pub fn loss_bounds(&self) -> &[f64] {
         &self.loss_ub
+    }
+
+    /// Fingerprint of the saved warm basis, if any (see
+    /// [`flexile_lp::Basis::fingerprint`]). The crash tests use this to
+    /// prove that replaying a checkpointed solve chain reconstructs the
+    /// *exact* basis state of an uninterrupted run.
+    pub fn warm_basis_fingerprint(&self) -> Option<u64> {
+        self.warm.as_ref().map(|b| b.fingerprint())
+    }
+
+    /// Drop the saved warm basis: the next solve starts cold. Used by the
+    /// pool when quarantining a template after a contained panic.
+    pub fn clear_warm_basis(&mut self) {
+        self.warm = None;
     }
 
     /// Whether this template was built for the given demand factor.

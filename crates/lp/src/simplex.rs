@@ -83,6 +83,43 @@ pub struct Basis {
     status: Vec<VarStatus>,
 }
 
+impl Basis {
+    /// Number of basic columns (= rows of the solve that produced it).
+    pub fn size(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Order-sensitive FNV-1a digest of the basic set and every column's
+    /// status. Two bases with equal fingerprints restart a solve
+    /// identically, so the decomposition's crash tests use this to prove
+    /// that replaying a scenario's RHS chain after a resume reconstructs
+    /// *exactly* the warm state the uninterrupted run carried — without
+    /// ever persisting the basis itself.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: u64| {
+            for byte in b.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.basis.len() as u64);
+        for &c in &self.basis {
+            eat(c as u64);
+        }
+        eat(self.status.len() as u64);
+        for &s in &self.status {
+            eat(match s {
+                VarStatus::Basic => 0,
+                VarStatus::AtLower => 1,
+                VarStatus::AtUpper => 2,
+                VarStatus::FreeZero => 3,
+            });
+        }
+        h
+    }
+}
+
 /// How a warm-started solve actually restarted (reported by
 /// [`solve_rhs_restart`]). The decomposition's scenario pool uses this to
 /// count cross-iteration basis reuse explicitly instead of inferring it

@@ -49,7 +49,7 @@ pub use hist::LogHistogram;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -182,13 +182,16 @@ fn registry() -> &'static Mutex<Vec<Arc<Mutex<ThreadBuf>>>> {
 thread_local! {
     static LOCAL: (u64, Arc<Mutex<ThreadBuf>>) = {
         let buf = Arc::new(Mutex::new(ThreadBuf::default()));
-        registry().lock().expect("obs registry poisoned").push(buf.clone());
+        // Recover a poisoned registry instead of double-panicking: a thread
+        // that panicked mid-registration leaves the Vec intact (push is the
+        // only mutation), so telemetry keeps working after contained panics.
+        registry().lock().unwrap_or_else(PoisonError::into_inner).push(buf.clone());
         (NEXT_TID.fetch_add(1, Ordering::Relaxed), buf)
     };
 }
 
 fn with_buf(f: impl FnOnce(u64, &mut ThreadBuf)) {
-    LOCAL.with(|(tid, buf)| f(*tid, &mut buf.lock().expect("obs thread buffer poisoned")));
+    LOCAL.with(|(tid, buf)| f(*tid, &mut buf.lock().unwrap_or_else(PoisonError::into_inner)));
 }
 
 /// RAII guard for a timed span. Created by [`span`]; records a
@@ -381,9 +384,13 @@ impl Event {
 /// or disabled; recording continues into fresh buffers afterwards.
 pub fn drain() -> Telemetry {
     let mut t = Telemetry::default();
-    let mut reg = registry().lock().expect("obs registry poisoned");
+    // A worker that panicked while holding its buffer (or the registry)
+    // poisons the mutex but leaves the data structurally sound — every
+    // mutation is an append or a whole-value replace. Recover the inner
+    // value so one contained panic doesn't take telemetry down with it.
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     reg.retain(|buf| {
-        let mut b = buf.lock().expect("obs thread buffer poisoned");
+        let mut b = buf.lock().unwrap_or_else(PoisonError::into_inner);
         t.events.append(&mut b.events);
         for (k, v) in std::mem::take(&mut b.counters) {
             *t.counters.entry(k).or_insert(0) += v;
