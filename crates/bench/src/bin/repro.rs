@@ -3,8 +3,9 @@
 //! ```text
 //! repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N]
 //!                    [--threads N] [--limit N] [--full] [--quiet]
-//!                    [--obs DIR] [--checkpoint DIR] [--every N]
-//!                    [--resume] [--kill-iter N] [--kill-scenario I:K]
+//!                    [--obs DIR] [--serve ADDR] [--checkpoint DIR]
+//!                    [--every N] [--resume] [--kill-iter N]
+//!                    [--kill-scenario I:K] [--baseline DIR] [--tolerance F]
 //!
 //! experiments:
 //!   motivation   §3 / Propositions 1-2 on the Fig. 1 triangle
@@ -25,9 +26,19 @@
 //!   warm_restart scenario-pool policy benchmark: cold / striped / per-scenario
 //!   checkpoint   crash-safety guard: checkpoint cadence sweep + overhead bound
 //!   crash_resume process-level kill/resume driver (see flags below)
+//!   slo          failure→plan-swap reaction latency under the chaos runner
+//!   bench-check  perf-regression guard: diff --obs records vs committed
+//!                BENCH_*.json in --baseline DIR (default .), fail beyond
+//!                --tolerance F (default 0.10)
 //!   summary      headline results incl. the FFC baseline and SLO report
 //!   all          every experiment above, in order
 //! ```
+//!
+//! `--serve ADDR` (e.g. `127.0.0.1:7077`) enables telemetry and serves the
+//! live dashboard while the experiment runs: `/` (HTML plots), `/snapshot`
+//! (JSON counters/hists), `/events` (JSONL tail), `/flight` (last flight-
+//! recorder dump). The process keeps serving after the experiment finishes
+//! until `GET /quit`.
 //!
 //! The `crash_resume` experiment drives a real process-death cycle for the
 //! CI smoke test: `--checkpoint DIR` selects the checkpoint directory,
@@ -60,6 +71,9 @@ struct Args {
     cfg: ExpConfig,
     limit: usize,
     obs: Option<PathBuf>,
+    serve: Option<String>,
+    baseline: PathBuf,
+    tolerance: f64,
     crash: CrashResumeArgs,
 }
 
@@ -69,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
     let mut experiment: Option<String> = None;
     let mut full = false;
     let mut obs: Option<PathBuf> = None;
+    let mut serve: Option<String> = None;
+    let mut baseline = PathBuf::from(".");
+    let mut tolerance = 0.10f64;
     let mut crash = CrashResumeArgs { every: 1, ..Default::default() };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -112,6 +129,23 @@ fn parse_args() -> Result<Args, String> {
                 obs = Some(PathBuf::from(next_val(i, "--obs")?));
                 i += 1;
             }
+            "--serve" => {
+                serve = Some(next_val(i, "--serve")?);
+                i += 1;
+            }
+            "--baseline" => {
+                baseline = PathBuf::from(next_val(i, "--baseline")?);
+                i += 1;
+            }
+            "--tolerance" => {
+                tolerance = next_val(i, "--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+                if !(0.0..10.0).contains(&tolerance) {
+                    return Err("--tolerance must be in [0, 10)".into());
+                }
+                i += 1;
+            }
             "--checkpoint" => {
                 crash.dir = Some(PathBuf::from(next_val(i, "--checkpoint")?));
                 i += 1;
@@ -151,7 +185,7 @@ fn parse_args() -> Result<Args, String> {
         cfg = cfg.full();
     }
     let experiment = experiment.ok_or_else(String::new)?;
-    Ok(Args { experiment, cfg, limit, obs, crash })
+    Ok(Args { experiment, cfg, limit, obs, serve, baseline, tolerance, crash })
 }
 
 fn cfg_limit_check(limit: &mut usize, s: &str) -> Result<(), String> {
@@ -165,12 +199,13 @@ fn cfg_limit_check(limit: &mut usize, s: &str) -> Result<(), String> {
 fn usage() {
     eprintln!(
         "usage: repro <experiment> [--seed N] [--max-pairs N] [--max-scenarios N] \
-         [--threads N] [--limit N] [--full] [--quiet] [--obs DIR]\n\
+         [--threads N] [--limit N] [--full] [--quiet] [--obs DIR] [--serve ADDR]\n\
          crash_resume flags: --checkpoint DIR [--every N] [--resume] \
          [--kill-iter N] [--kill-scenario I:K]\n\
+         bench-check flags: --obs DIR [--baseline DIR] [--tolerance F]\n\
          experiments: motivation table2 fig5 fig6 fig9a fig9b fig9c fig10 fig11 \
          fig12 fig13 fig14 fig15 fig18 lp_basis warm_restart checkpoint \
-         crash_resume summary all"
+         crash_resume slo bench-check summary all"
     );
 }
 
@@ -193,6 +228,7 @@ fn run(experiment: &str, cfg: &ExpConfig, limit: usize) -> bool {
         "lp_basis" => flexile_bench::lp_basis::run_lp_basis(cfg, limit),
         "warm_restart" => flexile_bench::warm_restart::run_warm_restart(cfg, limit),
         "checkpoint" => flexile_bench::checkpoint::run_checkpoint(cfg, limit),
+        "slo" => flexile_bench::slo::run_slo(cfg),
         "summary" => flexile_bench::summary::run_summary(cfg),
         _ => return false,
     }
@@ -202,11 +238,16 @@ fn run(experiment: &str, cfg: &ExpConfig, limit: usize) -> bool {
 /// Run one experiment (or `all`), optionally under the telemetry sink with
 /// per-experiment artifacts written into `obs`. `Ok(false)` means the
 /// experiment name is unknown; `Err` means an artifact failed to write.
+///
+/// While `serving`, artifacts come from the non-destructive
+/// [`flexile_obs::snapshot`] and the sink stays enabled, so the live
+/// dashboard keeps its data after the experiment finishes.
 fn run_traced(
     experiment: &str,
     cfg: &ExpConfig,
     limit: usize,
     obs: Option<&Path>,
+    serving: bool,
 ) -> std::io::Result<bool> {
     if experiment == "all" {
         for e in [
@@ -214,13 +255,13 @@ fn run_traced(
             "fig12", "fig13", "fig14", "fig15", "fig18",
         ] {
             cfg.progress(format!("== {e} =="));
-            run_traced(e, cfg, limit, obs)?;
+            run_traced(e, cfg, limit, obs, serving)?;
         }
         return Ok(true);
     }
-    let Some(dir) = obs else {
+    if obs.is_none() && !serving {
         return Ok(run(experiment, cfg, limit));
-    };
+    }
 
     flexile_obs::enable();
     let t0 = std::time::Instant::now();
@@ -232,12 +273,18 @@ fn run_traced(
     let ok = run(experiment, cfg, limit);
     span.set("ok", ok);
     drop(span);
-    flexile_obs::disable();
-    let t = flexile_obs::drain();
+    let t = if serving {
+        flexile_obs::snapshot()
+    } else {
+        flexile_obs::disable();
+        flexile_obs::drain()
+    };
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     if ok {
-        write_artifacts(dir, experiment, cfg, wall_ms, &t)?;
+        if let Some(dir) = obs {
+            write_artifacts(dir, experiment, cfg, wall_ms, &t)?;
+        }
         if !cfg.quiet {
             eprint!("{}", t.summary());
         }
@@ -257,7 +304,12 @@ fn write_artifacts(
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join(format!("BENCH_{experiment}.json")), perf_record(experiment, cfg, wall_ms, t))?;
     std::fs::write(dir.join(format!("BENCH_{experiment}_trace.json")), t.to_chrome_trace())?;
-    std::fs::write(dir.join(format!("BENCH_{experiment}_events.jsonl")), t.to_jsonl())?;
+    // Full bucket arrays on hist lines (dashboards and distribution diffs);
+    // the legacy quantile fields stay, so the CI jq schema is unchanged.
+    std::fs::write(
+        dir.join(format!("BENCH_{experiment}_events.jsonl")),
+        flexile_obs::export::to_jsonl_opts(t, true),
+    )?;
     Ok(())
 }
 
@@ -306,6 +358,11 @@ fn perf_record(experiment: &str, cfg: &ExpConfig, wall_ms: f64, t: &flexile_obs:
     if !ckpt_runs.is_empty() {
         let _ = write!(s, ",\"checkpoint_runs\":[{}]", ckpt_runs.join(","));
     }
+    // And the SLO experiment's reaction-latency percentiles, which is
+    // what `bench-check` gates the p99 budget on.
+    if let Some(slo) = flexile_bench::slo::take_slo_record() {
+        let _ = write!(s, ",\"slo\":{slo}");
+    }
     s.push_str("}\n");
     s
 }
@@ -326,7 +383,37 @@ fn main() -> ExitCode {
     if args.experiment == "crash_resume" {
         return ExitCode::from(flexile_bench::checkpoint::run_crash_resume(&args.cfg, &args.crash));
     }
-    match run_traced(&args.experiment, &args.cfg, args.limit, args.obs.as_deref()) {
+    // `bench-check` is a pure artifact diff: no solve, no telemetry.
+    if args.experiment == "bench-check" {
+        let Some(obs) = args.obs.as_deref() else {
+            eprintln!("error: bench-check requires --obs DIR (the current run's records)");
+            return ExitCode::from(2);
+        };
+        return ExitCode::from(flexile_bench::bench_check::run_bench_check(
+            obs,
+            &args.baseline,
+            args.tolerance,
+        ));
+    }
+    let server = match args.serve.as_deref() {
+        Some(addr) => {
+            flexile_obs::enable();
+            match flexile_obs::serve::start(addr) {
+                Ok(h) => {
+                    eprintln!("dashboard: http://{}/ (GET /quit to exit)", h.addr());
+                    Some(h)
+                }
+                Err(e) => {
+                    eprintln!("error: --serve {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let serving = server.is_some();
+    let code = match run_traced(&args.experiment, &args.cfg, args.limit, args.obs.as_deref(), serving)
+    {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
             eprintln!("error: unknown experiment '{}'", args.experiment);
@@ -337,5 +424,10 @@ fn main() -> ExitCode {
             eprintln!("error: writing telemetry artifacts: {e}");
             ExitCode::FAILURE
         }
+    };
+    if let Some(h) = server {
+        eprintln!("experiment done; dashboard still serving (GET /quit to exit)");
+        h.wait();
     }
+    code
 }

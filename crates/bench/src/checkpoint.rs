@@ -273,6 +273,13 @@ pub fn run_crash_resume(cfg: &ExpConfig, args: &CrashResumeArgs) -> u8 {
         eprintln!("error: crash_resume requires --checkpoint DIR");
         return 2;
     };
+    // With FLEXILE_FLIGHT_DIR set, enable the sink so contained crashes
+    // write flight-recorder dumps there (the CI smoke collects them as
+    // artifacts). The design stays bit-identical — that is the obs
+    // invariant the telemetry tests enforce.
+    if std::env::var_os("FLEXILE_FLIGHT_DIR").is_some() {
+        flexile_obs::enable();
+    }
     let (name, mlu) = TOPOLOGIES[0];
     let (inst, set) = hot_setup(name, mlu, cfg);
     let opts = opts_for(cfg, Some(dir.clone()), args.every.max(1));

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_check;
 pub mod checkpoint;
 pub mod figs_ibm;
 pub mod figs_motivation;
@@ -17,6 +18,7 @@ pub mod figs_perf;
 pub mod figs_sweep;
 pub mod lp_basis;
 pub mod setup;
+pub mod slo;
 pub mod summary;
 pub mod warm_restart;
 

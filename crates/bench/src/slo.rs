@@ -1,0 +1,166 @@
+//! `slo` experiment: failure→plan-swap reaction latency under the emu
+//! chaos runner, recorded as a committed SLO artifact.
+//!
+//! The run is the online half of the paper's story measured as a service
+//! objective: solve the Sprint design offline once, then replay a
+//! deterministic fail/recover trace against [`online_allocate_robust`]
+//! and time every reaction (the chaos runner's `emu.reaction` span).
+//! Every tenth step additionally runs under a solver-fault injector so
+//! the record includes reactions that had to walk the degradation
+//! ladder — the latencies that matter are the ones during trouble.
+//!
+//! Stdout is one CSV row per control interval; the machine-readable
+//! percentiles are stashed for `repro`'s `BENCH_slo.json` perf record
+//! (see [`take_slo_record`]) where `bench-check` gates on them. The
+//! trace construction is purely seed-driven: identical flags give an
+//! identical trace, so the step count, fault count and every solver
+//! counter are reproducible — only the latencies themselves are wall
+//! clock.
+
+use crate::setup::{single_class_setup, ExpConfig};
+use flexile_core::{solve_flexile, FlexileOptions};
+use flexile_emu::chaos::{run_chaos, ChaosTrace};
+use flexile_lp::fault::FaultInjector;
+use flexile_lp::FaultKind;
+use std::sync::Mutex;
+
+/// Reaction-latency budget for the p99 SLO, in microseconds. Generous
+/// relative to observed latencies (milliseconds on the capped Sprint
+/// setup) so the CI gate flags regressions in kind — a solve that
+/// suddenly waits on a lock, not scheduler jitter.
+pub const REACTION_BUDGET_US: u64 = 5_000_000;
+
+/// Chaos steps in the SLO trace.
+const STEPS: u64 = 40;
+
+/// Every Nth step runs under a solver-fault injector.
+const FAULT_PERIOD: u64 = 10;
+
+static SLO_RECORD: Mutex<Option<String>> = Mutex::new(None);
+
+/// Take the JSON object (no trailing newline) describing the last
+/// [`run_slo`]'s percentiles, for embedding into the perf record.
+pub fn take_slo_record() -> Option<String> {
+    SLO_RECORD.lock().unwrap_or_else(|e| e.into_inner()).take()
+}
+
+/// Deterministic fail/recover trace over the scenario set's failure
+/// units: a seed-driven walk that keeps 1–3 units down at a time, with
+/// each unit's downtime lasting a few control intervals. Pure function
+/// of `(seed, nunits)` — no RNG state leaks between runs.
+fn build_trace(seed: u64, nunits: usize) -> ChaosTrace {
+    let mut trace = ChaosTrace::new();
+    let mut x = seed | 1;
+    let mut down: Vec<Option<u64>> = vec![None; nunits]; // unit -> recovery time
+    for t in 0..STEPS {
+        // splitmix-style step: deterministic, cheap, well mixed.
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+
+        for (u, rec) in down.iter_mut().enumerate() {
+            if *rec == Some(t) {
+                trace = trace.recover(t, u);
+                *rec = None;
+            }
+        }
+        let ndown = down.iter().filter(|r| r.is_some()).count();
+        if ndown < 3 {
+            let u = (z as usize) % nunits;
+            if down[u].is_none() {
+                let hold = 2 + (z >> 32) % 3; // down for 2-4 intervals
+                trace = trace.fail(t, u);
+                down[u] = Some(t + hold);
+            }
+        }
+    }
+    trace
+}
+
+/// Run the SLO experiment: CSV per-step rows on stdout, percentile
+/// summary on stderr (unless `--quiet`), JSON record stashed for the
+/// perf artifact.
+pub fn run_slo(cfg: &ExpConfig) {
+    take_slo_record(); // reset any stale record from a prior experiment
+
+    cfg.progress("offline: solving Sprint design");
+    let (inst, set) = single_class_setup("Sprint", cfg);
+    let design =
+        solve_flexile(&inst, &set, &FlexileOptions { threads: cfg.threads, ..Default::default() });
+
+    let trace = build_trace(cfg.seed, set.units.len());
+    cfg.progress(format!(
+        "online: replaying {} chaos events over {} units",
+        trace.events.len(),
+        set.units.len()
+    ));
+    let report = run_chaos(&inst, &set, &design, &trace, |t| {
+        (t % FAULT_PERIOD == FAULT_PERIOD - 1)
+            .then(|| FaultInjector::new().at(0, FaultKind::Numerical))
+    });
+    report.check_invariants(&inst).expect("degradation-chain invariants");
+
+    println!("step,time,nfailed,enumerated,level,faults_injected,reaction_us");
+    for (i, s) in report.steps.iter().enumerate() {
+        println!(
+            "{i},{},{},{},{},{},{}",
+            s.time,
+            s.failed_units.len(),
+            s.enumerated,
+            s.outcome.level.name(),
+            s.faults_injected,
+            s.reaction.as_micros()
+        );
+    }
+
+    let p50 = report.reaction_percentile_us(50.0);
+    let p99 = report.reaction_percentile_us(99.0);
+    let max = report.reaction_percentile_us(100.0);
+    cfg.progress(format!(
+        "reaction latency: p50 {p50}us  p99 {p99}us  max {max}us  \
+         ({} steps, {} degraded, {} faults, budget {REACTION_BUDGET_US}us)",
+        report.steps.len(),
+        report.degraded_steps(),
+        report.faults_injected()
+    ));
+    assert!(
+        p99 <= REACTION_BUDGET_US,
+        "p99 reaction latency {p99}us exceeds the {REACTION_BUDGET_US}us budget"
+    );
+
+    *SLO_RECORD.lock().unwrap_or_else(|e| e.into_inner()) = Some(format!(
+        "{{\"steps\":{},\"degraded_steps\":{},\"faults_injected\":{},\
+         \"p50_us\":{p50},\"p99_us\":{p99},\"max_us\":{max},\"budget_us\":{REACTION_BUDGET_US}}}",
+        report.steps.len(),
+        report.degraded_steps(),
+        report.faults_injected()
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_bounded() {
+        let a = build_trace(7, 12);
+        let b = build_trace(7, 12);
+        assert_eq!(a.events, b.events);
+        assert!(!a.events.is_empty());
+        // Replaying the events never has more than 3 units down at once.
+        let mut down = [false; 12];
+        let mut events = a.events.clone();
+        events.sort_by_key(|e| e.time);
+        for e in &events {
+            down[e.unit] = e.down;
+            assert!(down.iter().filter(|&&d| d).count() <= 3);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        assert_ne!(build_trace(7, 12).events, build_trace(8, 12).events);
+    }
+}

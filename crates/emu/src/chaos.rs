@@ -86,6 +86,10 @@ pub struct ChaosStep {
     pub outcome: OnlineOutcome,
     /// Solver faults actually injected during this step.
     pub faults_injected: u64,
+    /// Wall-clock failure→plan-swap reaction latency: the time from
+    /// handing the new failure state to the controller until a complete
+    /// loss vector is back (including any degradation-ladder fallbacks).
+    pub reaction: std::time::Duration,
 }
 
 /// Full record of a chaos run, one step per distinct trace time.
@@ -108,6 +112,33 @@ impl ChaosReport {
     /// Total solver faults injected over the run.
     pub fn faults_injected(&self) -> u64 {
         self.steps.iter().map(|s| s.faults_injected).sum()
+    }
+
+    /// Exact order-statistic percentile of the per-step reaction
+    /// latencies, in microseconds. `p` in `[0, 100]`; returns 0 for an
+    /// empty run. Uses the nearest-rank definition, matching the exact
+    /// percentiles in `flexile-metrics` rather than the log-histogram's
+    /// bucketed estimate.
+    pub fn reaction_percentile_us(&self, p: f64) -> u64 {
+        let mut us: Vec<u64> = self
+            .steps
+            .iter()
+            .map(|s| s.reaction.as_micros() as u64)
+            .collect();
+        if us.is_empty() {
+            return 0;
+        }
+        us.sort_unstable();
+        let rank = ((p / 100.0) * us.len() as f64).ceil() as usize;
+        us[rank.clamp(1, us.len()) - 1]
+    }
+
+    /// Steps that ended below [`DegradationLevel::None`] (any fallback).
+    pub fn degraded_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.outcome.level > DegradationLevel::None)
+            .count()
     }
 
     /// Verify the degradation chain's contract on every step: losses cover
@@ -228,6 +259,15 @@ pub fn run_chaos(
         let (critical, promised, enumerated) = design_columns(set, design, &failed);
 
         let carry = prev.as_deref();
+        // The reaction clock covers exactly the controller's work: from
+        // handing over the new failure state to having a full loss vector
+        // back. The obs span mirrors it so live consumers (dashboard, SLO
+        // record) see each reaction as it lands.
+        let mut span = flexile_obs::span("emu.reaction", "emu")
+            .field("time", time)
+            .field("nfailed", failed.len() as u64)
+            .field("enumerated", enumerated);
+        let started = std::time::Instant::now();
         let (outcome, faults_injected) = match faults(time) {
             Some(inj) => {
                 let (out, used) = fault::with_injector(inj, || {
@@ -237,6 +277,12 @@ pub fn run_chaos(
             }
             None => (online_allocate_robust(inst, &scenario, &critical, &promised, carry), 0),
         };
+        let reaction = started.elapsed();
+        span.set("level", outcome.level.name());
+        span.set("faults_injected", faults_injected);
+        drop(span);
+        flexile_obs::observe("emu.reaction_us", reaction.as_micros() as f64);
+        flexile_obs::add("emu.chaos_steps", 1);
         prev = Some(outcome.losses.clone());
         report.steps.push(ChaosStep {
             time,
@@ -245,6 +291,7 @@ pub fn run_chaos(
             enumerated,
             outcome,
             faults_injected,
+            reaction,
         });
     }
     report

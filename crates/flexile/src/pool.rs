@@ -308,6 +308,7 @@ fn solve_contained(
             Ok(res) => return res.map_err(PoolError::Solver),
             Err(payload) => {
                 flexile_obs::add("flexile.worker_panic", 1);
+                flexile_obs::flight::dump("worker_panic");
                 // Quarantine: whatever state the panic left the template
                 // in, it is never used again. The next attempt (this retry
                 // or a later iteration) rebuilds cold.
@@ -317,6 +318,7 @@ fn solve_contained(
                     slot.history.clear();
                 }
                 flexile_obs::add("flexile.scenario_quarantined", 1);
+                flexile_obs::flight::dump("scenario_quarantined");
                 if attempts > MAX_PANIC_RETRIES {
                     return Err(PoolError::ScenarioPoisoned {
                         scenario: q,
@@ -658,10 +660,12 @@ impl IterationSolver for LegacyStriped<'_> {
                                 Ok(r) => r.map_err(PoolError::Solver),
                                 Err(payload) => {
                                     flexile_obs::add("flexile.worker_panic", 1);
+                                    flexile_obs::flight::dump("worker_panic");
                                     // Quarantine the stripe template; later
                                     // scenarios of this stripe rebuild cold.
                                     tmpl = None;
                                     flexile_obs::add("flexile.scenario_quarantined", 1);
+                                    flexile_obs::flight::dump("scenario_quarantined");
                                     Err(PoolError::WorkerPanicked {
                                         scenario: q,
                                         worker: t,

@@ -300,6 +300,7 @@ impl SubproblemTemplate {
                     Err(LpError::DeadlineExceeded) if watchdog.is_some() => {
                         self.warm = None;
                         flexile_obs::add("flexile.watchdog_restart", 1);
+                        flexile_obs::flight::dump("watchdog_restart");
                         let out = solve_robust(&self.model, &rb, None);
                         let iterations = out.report.total_iterations();
                         (

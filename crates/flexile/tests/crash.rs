@@ -212,6 +212,18 @@ fn worker_kill_sprint_emits_containment_telemetry() {
             assert_eq!(counter("flexile.worker_panic"), 1, "kill (it {it}, scen {q})");
             assert_eq!(counter("flexile.scenario_quarantined"), 1);
             assert_eq!(counter("flexile.scenario_poisoned"), 0, "one panic must not poison");
+            assert_eq!(counter("obs.flight_dump"), 2, "panic + quarantine each dump");
+            let dump = flexile_obs::flight::last().expect("flight dump retained");
+            assert!(dump.starts_with("{\"type\":\"flight\",\"reason\":\"scenario_quarantined\""));
+            if it == 2 {
+                // By iteration 2 the rings hold real pre-crash history:
+                // completed subproblem spans from iteration 1.
+                assert!(
+                    dump.contains("\"flexile.subproblem\""),
+                    "iteration-2 black box holds pre-crash spans (it {it}, scen {q})"
+                );
+            }
+            flexile_obs::flight::clear_last();
         }
     }
 }
@@ -224,6 +236,7 @@ fn retry_exhaustion_poisons_scenario_but_run_survives() {
     // One more armed panic than the pool retries: every attempt dies.
     let kills = vec![p; MAX_PANIC_RETRIES as usize + 1];
     let _k = flexile_core::killpoints::arm(&kills);
+    flexile_obs::flight::clear_last();
     flexile_obs::enable();
     let d = solve_flexile(&inst, &set, &FlexileOptions::default());
     flexile_obs::disable();
@@ -236,6 +249,15 @@ fn retry_exhaustion_poisons_scenario_but_run_survives() {
     assert_eq!(counter("flexile.worker_panic"), MAX_PANIC_RETRIES as u64 + 1);
     assert_eq!(counter("flexile.scenario_quarantined"), MAX_PANIC_RETRIES as u64 + 1);
     assert_eq!(counter("flexile.scenario_poisoned"), 1);
+    // Every contained failure ships its black box: a flight-recorder dump
+    // per worker_panic and per quarantine, holding the pre-crash events.
+    assert_eq!(counter("obs.flight_dump"), 2 * (MAX_PANIC_RETRIES as u64 + 1));
+    let dump = flexile_obs::flight::last().expect("crash produced a flight dump");
+    // The kill fires on the very first solve, before any span completed:
+    // the black box honestly reports its (empty) pre-crash history. The
+    // iteration-2 Sprint kills below exercise a populated ring.
+    assert!(dump.starts_with("{\"type\":\"flight\",\"reason\":\"scenario_quarantined\""));
+    flexile_obs::flight::clear_last();
     // Degraded, not dead: the run completed, losses for the poisoned
     // scenario were pessimistic for that iteration, stats stay monotone.
     assert!(d.penalty.is_finite() && (0.0..=1.0 + 1e-9).contains(&d.penalty));

@@ -8,13 +8,20 @@
 //!   [...]}`), loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
 //! - [`summary`] — a human-readable table of counters and histogram
 //!   percentiles for terminal output.
+//!
+//! All writers append into one caller-provided (or internally reused)
+//! `String` buffer via `fmt::Write` — the export path performs no
+//! per-field allocations, so streaming consumers (the live dashboard's
+//! `/events` tail, the flight recorder) can serialize at event rate
+//! without churning the allocator.
 
+use crate::hist::LogHistogram;
 use crate::{Event, EventKind, Telemetry, Value};
 use std::fmt::Write as _;
 
-/// Escape a string for inclusion inside JSON double quotes.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
+/// Escape a string for inclusion inside JSON double quotes, appending to
+/// `out`. The zero-allocation workhorse behind every exporter.
+pub fn json_escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -28,87 +35,147 @@ pub fn json_escape(s: &str) -> String {
             c => out.push(c),
         }
     }
+}
+
+/// Escape a string for inclusion inside JSON double quotes, returning a
+/// fresh `String`. Convenience wrapper over [`json_escape_into`] for
+/// one-off callers; bulk exporters use the buffered form.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    json_escape_into(&mut out, s);
     out
 }
 
-/// Render a [`Value`] as a JSON value. Non-finite floats become `null`
+/// Append a [`Value`] as a JSON value. Non-finite floats become `null`
 /// (JSON has no representation for them).
-fn json_value(v: &Value) -> String {
+fn write_value(out: &mut String, v: &Value) {
     match v {
-        Value::U64(x) => x.to_string(),
-        Value::I64(x) => x.to_string(),
-        Value::F64(x) => {
-            if x.is_finite() {
-                format!("{x}")
-            } else {
-                "null".to_string()
-            }
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
         }
-        Value::Bool(x) => x.to_string(),
-        Value::Str(s) => format!("\"{}\"", json_escape(s)),
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) => write_f64(out, *x),
+        Value::Bool(x) => out.push_str(if *x { "true" } else { "false" }),
+        Value::Str(s) => {
+            out.push('"');
+            json_escape_into(out, s);
+            out.push('"');
+        }
     }
 }
 
-fn json_fields(fields: &[(&'static str, Value)]) -> String {
-    let mut out = String::from("{");
+/// Append an `f64` as JSON: `null` for non-finite values.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_fields(out: &mut String, fields: &[(&'static str, Value)]) {
+    out.push('{');
     for (i, (k, v)) in fields.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "\"{}\":{}", json_escape(k), json_value(v));
+        out.push('"');
+        json_escape_into(out, k);
+        out.push_str("\":");
+        write_value(out, v);
     }
     out.push('}');
-    out
 }
 
-fn jsonl_event(e: &Event) -> String {
+/// Append one event as a JSONL line (no trailing newline) — the
+/// `"type":"event"` schema of [`to_jsonl`]. Public so the live event
+/// stream (`obs::serve`) and the flight recorder serialize identically to
+/// the batch exporter.
+pub fn write_jsonl_event(out: &mut String, e: &Event) {
     let kind = match e.kind {
         EventKind::Span => "span",
         EventKind::Instant => "instant",
     };
-    format!(
-        "{{\"type\":\"event\",\"name\":\"{}\",\"cat\":\"{}\",\"kind\":\"{}\",\"ts_us\":{},\"dur_us\":{},\"tid\":{},\"fields\":{}}}",
-        json_escape(e.name),
-        json_escape(e.cat),
-        kind,
-        e.ts_us,
-        e.dur_us,
-        e.tid,
-        json_fields(&e.fields),
-    )
+    out.push_str("{\"type\":\"event\",\"name\":\"");
+    json_escape_into(out, e.name);
+    out.push_str("\",\"cat\":\"");
+    json_escape_into(out, e.cat);
+    let _ = write!(
+        out,
+        "\",\"kind\":\"{kind}\",\"ts_us\":{},\"dur_us\":{},\"tid\":{},\"fields\":",
+        e.ts_us, e.dur_us, e.tid
+    );
+    write_fields(out, &e.fields);
+    out.push('}');
+}
+
+/// Append one histogram as a JSONL line (no trailing newline). The line
+/// always carries the legacy summary stats (`count`/`sum`/`min`/`max`/
+/// `p50`/`p90`/`p99`, non-finite stats rendered as `null` — an empty
+/// histogram therefore renders `null` quantiles rather than panicking);
+/// with `buckets = true` it additionally carries the full bucket array as
+/// `"buckets":[[lo,hi,count],...]` so consumers can compare whole
+/// distributions, not just three quantiles.
+pub fn write_jsonl_hist(out: &mut String, name: &str, h: &LogHistogram, buckets: bool) {
+    out.push_str("{\"type\":\"hist\",\"name\":\"");
+    json_escape_into(out, name);
+    let _ = write!(out, "\",\"count\":{},\"sum\":", h.count());
+    write_f64(out, h.sum());
+    out.push_str(",\"min\":");
+    write_f64(out, h.min());
+    out.push_str(",\"max\":");
+    write_f64(out, h.max());
+    out.push_str(",\"p50\":");
+    write_f64(out, h.quantile(0.50));
+    out.push_str(",\"p90\":");
+    write_f64(out, h.quantile(0.90));
+    out.push_str(",\"p99\":");
+    write_f64(out, h.quantile(0.99));
+    if buckets {
+        out.push_str(",\"buckets\":[");
+        for (i, (lo, hi, c)) in h.buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            write_f64(out, lo);
+            out.push(',');
+            write_f64(out, hi);
+            let _ = write!(out, ",{c}]");
+        }
+        out.push(']');
+    }
+    out.push('}');
 }
 
 /// Export as JSONL: one JSON object per line. Event lines have
 /// `"type":"event"`; counter lines `"type":"counter"` with `name`/`value`;
-/// histogram lines `"type":"hist"` with `name`, `count`, `sum`, `min`,
-/// `max`, and `p50`/`p90`/`p99` (non-finite stats rendered as `null`).
+/// histogram lines `"type":"hist"` (see [`write_jsonl_hist`]). The legacy
+/// 3-quantile histogram line — no bucket array — keeps the existing CI
+/// `jq` schema stable; pass `hist_buckets = true` to [`to_jsonl_opts`]
+/// for full distributions.
 pub fn to_jsonl(t: &Telemetry) -> String {
+    to_jsonl_opts(t, false)
+}
+
+/// [`to_jsonl`] with control over the histogram lines: `hist_buckets`
+/// appends the full `"buckets"` array to every `"type":"hist"` line.
+pub fn to_jsonl_opts(t: &Telemetry, hist_buckets: bool) -> String {
     let mut out = String::new();
     for e in &t.events {
-        out.push_str(&jsonl_event(e));
+        write_jsonl_event(&mut out, e);
         out.push('\n');
     }
     for (name, v) in &t.counters {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
-            json_escape(name),
-            v
-        );
+        out.push_str("{\"type\":\"counter\",\"name\":\"");
+        json_escape_into(&mut out, name);
+        let _ = writeln!(out, "\",\"value\":{v}}}");
     }
     for (name, h) in &t.hists {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
-            json_escape(name),
-            h.count(),
-            json_value(&Value::F64(h.sum())),
-            json_value(&Value::F64(h.min())),
-            json_value(&Value::F64(h.max())),
-            json_value(&Value::F64(h.quantile(0.50))),
-            json_value(&Value::F64(h.quantile(0.90))),
-            json_value(&Value::F64(h.quantile(0.99))),
-        );
+        write_jsonl_hist(&mut out, name, h, hist_buckets);
+        out.push('\n');
     }
     out
 }
@@ -124,33 +191,83 @@ pub fn to_chrome_trace(t: &Telemetry) -> String {
             out.push(',');
         }
         first = false;
+        out.push_str("{\"name\":\"");
+        json_escape_into(&mut out, e.name);
+        out.push_str("\",\"cat\":\"");
+        json_escape_into(&mut out, e.cat);
         match e.kind {
             EventKind::Span => {
                 let _ = write!(
                     out,
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
-                    json_escape(e.name),
-                    json_escape(e.cat),
-                    e.ts_us,
-                    e.dur_us,
-                    e.tid,
-                    json_fields(&e.fields),
+                    "\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":",
+                    e.ts_us, e.dur_us, e.tid
                 );
             }
             EventKind::Instant => {
                 let _ = write!(
                     out,
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"pid\":1,\"tid\":{},\"args\":{}}}",
-                    json_escape(e.name),
-                    json_escape(e.cat),
-                    e.ts_us,
-                    e.tid,
-                    json_fields(&e.fields),
+                    "\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"pid\":1,\"tid\":{},\"args\":",
+                    e.ts_us, e.tid
                 );
             }
         }
+        write_fields(&mut out, &e.fields);
+        out.push('}');
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// A full snapshot as one JSON object: `{"ts_us":..,"counters":{..},
+/// "hists":{name:{count,...,buckets:[..]}}}`. The `/snapshot` endpoint of
+/// the live dashboard serves exactly this; histograms always carry full
+/// bucket arrays here (the dashboard plots distributions).
+pub fn snapshot_json(t: &Telemetry) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"ts_us\":{},\"events\":{},\"counters\":{{", crate::now(), t.events.len());
+    for (i, (name, v)) in t.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape_into(&mut out, name);
+        let _ = write!(out, "\":{v}");
+    }
+    out.push_str("},\"hists\":{");
+    for (i, (name, h)) in t.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape_into(&mut out, name);
+        let _ = write!(out, "\":{{\"count\":{},\"sum\":", h.count());
+        write_f64(&mut out, h.sum());
+        out.push_str(",\"mean\":");
+        write_f64(&mut out, h.mean());
+        out.push_str(",\"min\":");
+        write_f64(&mut out, h.min());
+        out.push_str(",\"max\":");
+        write_f64(&mut out, h.max());
+        out.push_str(",\"p50\":");
+        write_f64(&mut out, h.quantile(0.50));
+        out.push_str(",\"p90\":");
+        write_f64(&mut out, h.quantile(0.90));
+        out.push_str(",\"p99\":");
+        write_f64(&mut out, h.quantile(0.99));
+        out.push_str(",\"buckets\":[");
+        for (j, (lo, hi, c)) in h.buckets().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            write_f64(&mut out, lo);
+            out.push(',');
+            write_f64(&mut out, hi);
+            let _ = write!(out, ",{c}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
     out
 }
 
@@ -223,4 +340,53 @@ pub fn summary(t: &Telemetry) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: exporting a telemetry snapshot with an empty
+    /// histogram (count 0, all stats NaN) must render `null` quantiles and
+    /// never panic, on both the legacy and the bucketed line.
+    #[test]
+    fn empty_histogram_exports_null_quantiles() {
+        let mut t = Telemetry::default();
+        t.hists.insert("t.empty", LogHistogram::new());
+        for jsonl in [to_jsonl(&t), to_jsonl_opts(&t, true)] {
+            let line = jsonl.lines().next().expect("one hist line");
+            assert!(line.contains("\"count\":0"), "{line}");
+            assert!(line.contains("\"p50\":null"), "{line}");
+            assert!(line.contains("\"p99\":null"), "{line}");
+            assert!(line.contains("\"min\":null"), "{line}");
+        }
+        let snap = snapshot_json(&t);
+        assert!(snap.contains("\"p99\":null"), "{snap}");
+        assert!(snap.contains("\"buckets\":[]"), "{snap}");
+        // Fully empty telemetry: all exporters yield valid (empty) output.
+        let empty = Telemetry::default();
+        assert_eq!(to_jsonl(&empty), "");
+        assert!(to_chrome_trace(&empty).starts_with("{\"traceEvents\":[]"));
+        assert_eq!(summary(&empty), "");
+    }
+
+    #[test]
+    fn bucketed_hist_line_keeps_legacy_fields() {
+        let mut h = LogHistogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let mut t = Telemetry::default();
+        t.hists.insert("t.h", h);
+        let full = to_jsonl_opts(&t, true);
+        let legacy = to_jsonl(&t);
+        for key in ["\"count\":100", "\"p50\":", "\"p90\":", "\"p99\":"] {
+            assert!(full.contains(key) && legacy.contains(key), "{key}");
+        }
+        assert!(full.contains("\"buckets\":[["));
+        assert!(!legacy.contains("\"buckets\""));
+        // The bucket array carries the full mass.
+        let mass: u64 = t.hists["t.h"].buckets().map(|(_, _, c)| c).sum();
+        assert_eq!(mass, 100);
+    }
 }

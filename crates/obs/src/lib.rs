@@ -43,11 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod hist;
+pub mod serve;
+pub mod stream;
 
 pub use hist::LogHistogram;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
@@ -80,8 +83,12 @@ fn anchor() -> Instant {
     *ANCHOR.get_or_init(Instant::now)
 }
 
-fn now_us() -> u64 {
+pub(crate) fn now() -> u64 {
     anchor().elapsed().as_micros() as u64
+}
+
+fn now_us() -> u64 {
+    now()
 }
 
 /// A telemetry field value.
@@ -150,7 +157,7 @@ pub enum EventKind {
 }
 
 /// One recorded telemetry event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Event name, e.g. `"lp.solve"`.
     pub name: &'static str,
@@ -173,6 +180,31 @@ struct ThreadBuf {
     events: Vec<Event>,
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, LogHistogram>,
+    /// Flight-recorder ring: the last N events of this thread, *not*
+    /// cleared by [`drain`] — the thread's black box (see [`flight`]).
+    flight: VecDeque<Event>,
+}
+
+/// Append `ev` to a thread buffer: the single chokepoint every recorded
+/// event goes through. Publishes to live subscribers (when any exist),
+/// maintains the flight-recorder ring, then lands the event in the
+/// drain buffer. Runs under the thread's buffer lock, so drop accounting
+/// writes `b.counters` directly instead of recursing through [`add`].
+fn push_event(b: &mut ThreadBuf, ev: Event) {
+    if stream::active() {
+        let dropped = stream::publish(&ev);
+        if dropped > 0 {
+            *b.counters.entry("obs.dropped_events").or_insert(0) += dropped;
+        }
+    }
+    let cap = flight::capacity();
+    if cap > 0 {
+        while b.flight.len() >= cap {
+            b.flight.pop_front();
+        }
+        b.flight.push_back(ev.clone());
+    }
+    b.events.push(ev);
 }
 
 fn registry() -> &'static Mutex<Vec<Arc<Mutex<ThreadBuf>>>> {
@@ -241,15 +273,18 @@ impl Drop for Span {
         if let Some(inner) = self.0.take() {
             let dur_us = now_us().saturating_sub(inner.start_us);
             with_buf(|tid, b| {
-                b.events.push(Event {
-                    name: inner.name,
-                    cat: inner.cat,
-                    ts_us: inner.start_us,
-                    dur_us,
-                    kind: EventKind::Span,
-                    tid,
-                    fields: inner.fields,
-                })
+                push_event(
+                    b,
+                    Event {
+                        name: inner.name,
+                        cat: inner.cat,
+                        ts_us: inner.start_us,
+                        dur_us,
+                        kind: EventKind::Span,
+                        tid,
+                        fields: inner.fields,
+                    },
+                )
             });
         }
     }
@@ -282,15 +317,18 @@ impl Drop for EventBuilder {
     fn drop(&mut self) {
         if let Some(inner) = self.0.take() {
             with_buf(|tid, b| {
-                b.events.push(Event {
-                    name: inner.name,
-                    cat: inner.cat,
-                    ts_us: inner.start_us,
-                    dur_us: 0,
-                    kind: EventKind::Instant,
-                    tid,
-                    fields: inner.fields,
-                })
+                push_event(
+                    b,
+                    Event {
+                        name: inner.name,
+                        cat: inner.cat,
+                        ts_us: inner.start_us,
+                        dur_us: 0,
+                        kind: EventKind::Instant,
+                        tid,
+                        fields: inner.fields,
+                    },
+                )
             });
         }
     }
@@ -383,6 +421,20 @@ impl Event {
 /// after their contents are collected. Safe to call with the sink enabled
 /// or disabled; recording continues into fresh buffers afterwards.
 pub fn drain() -> Telemetry {
+    collect(true)
+}
+
+/// Merge every thread's buffer into one [`Telemetry`] snapshot **without**
+/// clearing anything — a non-destructive peek for live consumers (the
+/// dashboard's `/snapshot` endpoint, [`stream::Subscriber::snapshot`]).
+/// Counters and histograms report their totals since the last [`drain`];
+/// a later `drain` still returns everything, so snapshotting never loses
+/// or double-counts data.
+pub fn snapshot() -> Telemetry {
+    collect(false)
+}
+
+fn collect(clear: bool) -> Telemetry {
     let mut t = Telemetry::default();
     // A worker that panicked while holding its buffer (or the registry)
     // poisons the mutex but leaves the data structurally sound — every
@@ -391,18 +443,44 @@ pub fn drain() -> Telemetry {
     let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     reg.retain(|buf| {
         let mut b = buf.lock().unwrap_or_else(PoisonError::into_inner);
-        t.events.append(&mut b.events);
-        for (k, v) in std::mem::take(&mut b.counters) {
-            *t.counters.entry(k).or_insert(0) += v;
-        }
-        for (k, h) in std::mem::take(&mut b.hists) {
-            t.hists.entry(k).or_default().merge(&h);
+        if clear {
+            t.events.append(&mut b.events);
+            for (k, v) in std::mem::take(&mut b.counters) {
+                *t.counters.entry(k).or_insert(0) += v;
+            }
+            for (k, h) in std::mem::take(&mut b.hists) {
+                t.hists.entry(k).or_default().merge(&h);
+            }
+        } else {
+            t.events.extend(b.events.iter().cloned());
+            for (k, v) in &b.counters {
+                *t.counters.entry(k).or_insert(0) += v;
+            }
+            for (k, h) in &b.hists {
+                t.hists.entry(k).or_default().merge(h);
+            }
         }
         // Keep only buffers whose owning thread is still alive (the TLS
-        // slot holds one Arc; ours is the other).
-        Arc::strong_count(buf) > 1
+        // slot holds one Arc; ours is the other). A snapshot must not
+        // retire anything: the drain still needs those buffers.
+        !clear || Arc::strong_count(buf) > 1
     });
     drop(reg);
     t.events.sort_by_key(|e| (e.ts_us, e.tid));
     t
+}
+
+/// Walk every live thread's flight-recorder ring (see [`flight`]),
+/// returning the merged last-N-events-per-thread, sorted by timestamp.
+/// Non-destructive; independent of [`drain`].
+pub(crate) fn flight_events() -> Vec<Event> {
+    let mut out = Vec::new();
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    for buf in reg.iter() {
+        let b = buf.lock().unwrap_or_else(PoisonError::into_inner);
+        out.extend(b.flight.iter().cloned());
+    }
+    drop(reg);
+    out.sort_by_key(|e| (e.ts_us, e.tid));
+    out
 }

@@ -1,0 +1,170 @@
+//! Zero-dependency live dashboard: a `std::net` HTTP endpoint over the
+//! telemetry sink.
+//!
+//! [`start`] binds a `TcpListener` and serves, on a background thread:
+//!
+//! * `GET /snapshot` — the current merged counters/histograms as one JSON
+//!   object (non-destructive; see [`crate::snapshot`] and
+//!   [`crate::export::snapshot_json`]).
+//! * `GET /events`   — the JSONL tail of events since the last `/events`
+//!   request, delivered through a private [`crate::stream::Subscriber`].
+//! * `GET /`         — a single static HTML page that polls the two
+//!   endpoints and plots bound-gap trajectory, pivot rate, warm-hit
+//!   ratio, degradation instants and reaction latency.
+//! * `GET /quit`     — acknowledges, then shuts the server down (used by
+//!   the CI smoke for a clean exit).
+//!
+//! The server is deliberately minimal: one request per connection,
+//! `Connection: close`, no keep-alive, 2-second socket timeouts. It
+//! exists to watch a solve, not to survive the internet.
+
+use crate::stream::{self, Subscriber};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+static DASHBOARD_HTML: &str = include_str!("dashboard.html");
+
+/// Handle to a running dashboard server. Dropping it does *not* stop the
+/// server; call [`ServerHandle::stop`] (or hit `/quit`) then
+/// [`ServerHandle::wait`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the server to shut down and unblock its accept loop.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Self-connect so the blocking accept() observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until the server thread exits (call [`Self::stop`] first).
+    pub fn wait(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve the dashboard until [`ServerHandle::stop`] or a
+/// `/quit` request. The server holds its own event subscriber, so the
+/// `/events` tail is independent of any other consumer.
+pub fn start<A: ToSocketAddrs>(addr: A) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let sub = stream::subscribe();
+    let thread = std::thread::Builder::new()
+        .name("obs-serve".into())
+        .spawn(move || serve_loop(listener, stop2, sub))?;
+    Ok(ServerHandle {
+        addr: bound,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>, sub: Subscriber) {
+    let sub = Mutex::new(sub);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let (mut conn, _) = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
+        let path = match read_request_path(&mut conn) {
+            Some(p) => p,
+            None => continue,
+        };
+        match path.as_str() {
+            "/snapshot" => {
+                let body = crate::export::snapshot_json(&crate::snapshot());
+                respond(&mut conn, "200 OK", "application/json", &body);
+            }
+            "/events" => {
+                let events = sub
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .recv_all();
+                let mut body = String::with_capacity(events.len() * 96);
+                for e in &events {
+                    crate::export::write_jsonl_event(&mut body, e);
+                    body.push('\n');
+                }
+                respond(&mut conn, "200 OK", "application/x-ndjson", &body);
+            }
+            "/flight" => {
+                let body = crate::flight::last().unwrap_or_default();
+                respond(&mut conn, "200 OK", "application/x-ndjson", &body);
+            }
+            "/" | "/index.html" => {
+                respond(&mut conn, "200 OK", "text/html; charset=utf-8", DASHBOARD_HTML);
+            }
+            "/quit" => {
+                respond(&mut conn, "200 OK", "text/plain", "bye\n");
+                stop.store(true, Ordering::SeqCst);
+                break;
+            }
+            _ => {
+                respond(&mut conn, "404 Not Found", "text/plain", "not found\n");
+            }
+        }
+    }
+}
+
+/// Parse just the request line's path; tolerate anything malformed by
+/// returning `None` (the connection is simply closed).
+fn read_request_path(conn: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 2048];
+    let mut read = 0usize;
+    // Read until the end of the request line (or the buffer fills).
+    while read < buf.len() {
+        let n = conn.read(&mut buf[read..]).ok()?;
+        if n == 0 {
+            break;
+        }
+        read += n;
+        if buf[..read].contains(&b'\n') {
+            break;
+        }
+    }
+    let line = std::str::from_utf8(&buf[..read]).ok()?.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Strip any query string; the endpoints take no parameters.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn respond(conn: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = conn.write_all(header.as_bytes());
+    let _ = conn.write_all(body.as_bytes());
+    let _ = conn.flush();
+}

@@ -1,0 +1,161 @@
+//! Live event streaming: bounded, non-blocking subscribers over the
+//! telemetry sink.
+//!
+//! [`subscribe`] attaches a bounded ring buffer to the sink; every event
+//! recorded afterwards (on any thread) is also delivered to the ring.
+//! The contract mirrors the sink's own cost model:
+//!
+//! * **Publishing never blocks a solver thread.** Delivery is a push into
+//!   a bounded `VecDeque` behind a mutex whose only other holder is the
+//!   consumer's O(1) buffer swap ([`Subscriber::recv_all`]), so the
+//!   critical section is a few pointer moves on both sides. When a ring
+//!   is full the *new* event is dropped — never queued, never waited on —
+//!   and the drop is counted both on the subscriber
+//!   ([`Subscriber::dropped`]) and in the global `obs.dropped_events`
+//!   counter, so a drained [`crate::Telemetry`] shows whether the stream
+//!   under-delivered.
+//! * **Zero cost when nobody listens.** The record path checks one
+//!   relaxed atomic ([`active`]); with no subscribers it does not clone,
+//!   lock or allocate anything.
+//! * **Stream ≡ drain.** A fully-consumed stream (no drops) reassembles
+//!   bit-identically to the events of [`crate::drain`] once sorted by
+//!   `(ts_us, tid)` — the differential tests in `tests/stream.rs` assert
+//!   this across thread counts.
+//!
+//! Counters and histograms are not streamed per-update (they are the hot
+//! path); consumers take periodic snapshots via [`Subscriber::snapshot`],
+//! which merges all thread buffers without clearing them.
+
+use crate::{Event, Telemetry};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
+
+/// Default ring capacity of [`subscribe`]: large enough that the tier-1
+/// runs consume with zero drops, small enough to bound memory.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+struct SubInner {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+static SUBS: OnceLock<Mutex<Vec<Weak<SubInner>>>> = OnceLock::new();
+/// Count of live subscribers; the record path's fast gate.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+fn subs() -> &'static Mutex<Vec<Weak<SubInner>>> {
+    SUBS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Whether any subscriber is attached (one relaxed load).
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed) > 0
+}
+
+/// Deliver one event to every live subscriber. Returns the number of
+/// rings that dropped it (full). Called from the record path under the
+/// thread-buffer lock; must therefore never re-enter the sink.
+pub(crate) fn publish(ev: &Event) -> u64 {
+    let mut dropped = 0u64;
+    let mut stale = false;
+    let guard = subs().lock().unwrap_or_else(PoisonError::into_inner);
+    for w in guard.iter() {
+        match w.upgrade() {
+            Some(s) => {
+                let mut ring = s.ring.lock().unwrap_or_else(PoisonError::into_inner);
+                if ring.len() >= s.capacity {
+                    drop(ring);
+                    s.dropped.fetch_add(1, Ordering::Relaxed);
+                    dropped += 1;
+                } else {
+                    ring.push_back(ev.clone());
+                }
+            }
+            None => stale = true,
+        }
+    }
+    drop(guard);
+    if stale {
+        subs()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|w| w.strong_count() > 0);
+    }
+    dropped
+}
+
+/// A live consumer of the event stream. Dropping the subscriber detaches
+/// it; events recorded while no subscriber exists cost nothing.
+pub struct Subscriber {
+    inner: Arc<SubInner>,
+}
+
+/// Attach a subscriber with [`DEFAULT_CAPACITY`].
+pub fn subscribe() -> Subscriber {
+    subscribe_with_capacity(DEFAULT_CAPACITY)
+}
+
+/// Attach a subscriber with an explicit ring capacity (`>= 1`). Events
+/// recorded while the ring is full are dropped and counted, never queued.
+pub fn subscribe_with_capacity(capacity: usize) -> Subscriber {
+    let inner = Arc::new(SubInner {
+        ring: Mutex::new(VecDeque::new()),
+        capacity: capacity.max(1),
+        dropped: AtomicU64::new(0),
+    });
+    subs()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Arc::downgrade(&inner));
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+    Subscriber { inner }
+}
+
+impl Subscriber {
+    /// Take every event delivered since the last call, in delivery order
+    /// (per-thread chronological; cross-thread interleaving is arrival
+    /// order). O(1) under the ring lock — the queue is swapped out whole.
+    pub fn recv_all(&self) -> Vec<Event> {
+        let mut ring = self.inner.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        let q = std::mem::take(&mut *ring);
+        drop(ring);
+        q.into()
+    }
+
+    /// Events currently queued (cheap peek).
+    pub fn len(&self) -> usize {
+        self.inner.ring.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped at this ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A periodic counter/histogram snapshot: merges every thread's
+    /// buffered counters and histograms without clearing them (see
+    /// [`crate::snapshot`]). Use alongside [`Self::recv_all`] for a full
+    /// live view.
+    pub fn snapshot(&self) -> Telemetry {
+        crate::snapshot()
+    }
+}
+
+impl Drop for Subscriber {
+    fn drop(&mut self) {
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+        let ptr = Arc::as_ptr(&self.inner);
+        subs()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|w| w.as_ptr() != ptr && w.strong_count() > 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Live observability dashboard over an emu chaos run: enable telemetry,
+//! start the zero-dependency HTTP dashboard, then drive the online
+//! controller through a fail/recover trace with solver faults injected —
+//! watch pivot rates, warm-hit ratio, reaction latency and degradation
+//! instants land in the browser as they happen.
+//!
+//! ```sh
+//! cargo run --release --example live_dashboard -- 127.0.0.1:7077
+//! # then open http://127.0.0.1:7077/ — GET /quit shuts it down
+//! ```
+//!
+//! The address argument is optional (default `127.0.0.1:7077`; use port 0
+//! for an ephemeral port, printed on startup). The chaos scenario loops
+//! until `/quit`, so there is always fresh data to plot; each lap pauses
+//! briefly between control intervals to make the live view legible.
+
+use flexile_core::{solve_flexile, FlexileOptions};
+use flexile_emu::chaos::{run_chaos, ChaosTrace};
+use flexile_lp::fault::FaultInjector;
+use flexile_lp::FaultKind;
+use flexile_scenario::{enumerate_scenarios, model::link_units, EnumOptions};
+use flexile_traffic::Instance;
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7077".into());
+
+    // Same trimmed Sprint instance as trace_decomposition: real topology,
+    // small caps, seconds per lap even in debug builds.
+    let topo = flexile_topo::topology_by_name("Sprint").expect("Sprint is in the zoo");
+    let probs = flexile_scenario::link_failure_probs(
+        topo.num_links(),
+        flexile_scenario::weibull::DEFAULT_SHAPE,
+        flexile_scenario::weibull::DEFAULT_MEDIAN,
+        42,
+    );
+    let units = link_units(&topo, &probs);
+    let set = enumerate_scenarios(
+        &units,
+        topo.num_links(),
+        &EnumOptions { prob_cutoff: 1e-6, max_scenarios: 24, coverage_target: 0.9999 },
+    );
+    let inst = Instance::single_class(topo, 7, 0.95, Some(10));
+
+    flexile_obs::enable();
+    let server = flexile_obs::serve::start(&addr).expect("bind dashboard address");
+    eprintln!("dashboard: http://{}/ (GET /quit to stop)", server.addr());
+
+    eprintln!("offline: solving the Sprint design (watch /snapshot fill up)");
+    let design =
+        solve_flexile(&inst, &set, &FlexileOptions { threads: 4, ..Default::default() });
+    eprintln!("offline done: penalty {:.6}", design.penalty);
+
+    // A short fail/recover lap over the first few failure units, with a
+    // transient solver fault on one step so a degradation instant shows
+    // up in the event stream.
+    let lap = ChaosTrace::new()
+        .fail(0, 0)
+        .fail(1, 1)
+        .recover(2, 0)
+        .fail(3, 2)
+        .recover(4, 1)
+        .recover(5, 2);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = std::sync::Arc::clone(&stop);
+    let driver = std::thread::spawn(move || {
+        let mut lap_no = 0u64;
+        while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+            let report = run_chaos(&inst, &set, &design, &lap, |t| {
+                (t == 3).then(|| FaultInjector::new().at(0, FaultKind::Numerical))
+            });
+            lap_no += 1;
+            eprintln!(
+                "lap {lap_no}: {} steps, worst level {}, p99 reaction {}us",
+                report.steps.len(),
+                report.worst().name(),
+                report.reaction_percentile_us(99.0)
+            );
+            std::thread::sleep(std::time::Duration::from_millis(750));
+        }
+    });
+
+    server.wait(); // blocks until GET /quit
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    driver.join().expect("chaos driver");
+    flexile_obs::disable();
+    eprintln!("dashboard stopped");
+}
