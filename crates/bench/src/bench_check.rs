@@ -41,6 +41,11 @@ const DETERMINISTIC_COUNTERS: &[&str] = &[
     "lp.dual_restarts",
     "lp.pricing_candidates",
     "lp.pricing_rescans",
+    "lp.presolve_removed_cols",
+    "lp.presolve_removed_rows",
+    "lp.crash_basis_pivots_saved",
+    "lp.devex_updates",
+    "lp.dual_bound_flips",
     "flexile.cuts_added",
     "flexile.scenarios_retried",
     "flexile.scenario_warm_hit",

@@ -70,6 +70,10 @@ pub struct MasterOptions {
     pub exact_threshold: usize,
     /// Branch-and-bound budget for the exact mode.
     pub mip_time_limit: Duration,
+    /// LP presolve on the branch-and-bound node relaxations. On by
+    /// default; the decomposition's bit-identity tests toggle it to prove
+    /// the master's output does not depend on the reduction.
+    pub presolve: bool,
 }
 
 impl Default for MasterOptions {
@@ -78,6 +82,7 @@ impl Default for MasterOptions {
             hamming_limit: 0,
             exact_threshold: 600,
             mip_time_limit: Duration::from_secs(20),
+            presolve: true,
         }
     }
 }
@@ -183,6 +188,7 @@ pub fn solve_master(
 
     if exact {
         let mip_opts = MipOptions {
+            presolve: opts.presolve,
             max_nodes: 5_000,
             time_limit: opts.mip_time_limit,
             ..MipOptions::default()

@@ -263,9 +263,14 @@ impl SubproblemTemplate {
             self.model.set_rhs(r, cap);
         }
         // Robust ladder with a generous iteration budget: warm fast path
-        // first, then the cold / safe-mode / perturbation rungs.
+        // first, then the cold / safe-mode / perturbation rungs. Presolve
+        // stays off: the Benders cuts are built from this solve's dual
+        // vector, and the cut stream must be bit-identical regardless of
+        // which presolve reductions would have fired (warm-started solves
+        // skip presolve anyway, so this only pins down the cold rungs).
         let rb = RobustOptions {
             budget: SolveBudget::with_max_iters(2_000_000),
+            presolve: false,
             ..Default::default()
         };
         let (sol, stats) = match self.warm.as_ref() {

@@ -19,6 +19,11 @@ pub struct SolveBudget {
     /// Absolute wall-clock deadline; crossing it surfaces
     /// [`crate::LpError::DeadlineExceeded`].
     pub deadline: Option<Instant>,
+    /// Pivots between basis refactorizations (the eta-chain-length
+    /// trigger). `None` uses the measured default; smaller values trade
+    /// speed for numerical robustness, larger ones stretch the eta file
+    /// further between rebuilds.
+    pub refactor_every: Option<usize>,
 }
 
 impl SolveBudget {
@@ -29,12 +34,12 @@ impl SolveBudget {
 
     /// Budget with an explicit per-attempt iteration cap.
     pub fn with_max_iters(max_iters: usize) -> Self {
-        SolveBudget { max_iters, deadline: None }
+        SolveBudget { max_iters, ..Default::default() }
     }
 
     /// Budget whose deadline is `timeout` from now.
     pub fn with_timeout(timeout: Duration) -> Self {
-        SolveBudget { max_iters: 0, deadline: Some(Instant::now() + timeout) }
+        SolveBudget { deadline: Some(Instant::now() + timeout), ..Default::default() }
     }
 
     /// Add a deadline `timeout` from now to this budget.
@@ -50,7 +55,12 @@ impl SolveBudget {
 
     /// Simplex options carrying this budget (other knobs at defaults).
     pub fn simplex_options(&self) -> SimplexOptions {
-        SimplexOptions { max_iters: self.max_iters, deadline: self.deadline, ..Default::default() }
+        SimplexOptions {
+            max_iters: self.max_iters,
+            deadline: self.deadline,
+            refactor_every: self.refactor_every,
+            ..Default::default()
+        }
     }
 }
 
@@ -67,7 +77,7 @@ mod tests {
 
     #[test]
     fn elapsed_deadline_reports_expired() {
-        let b = SolveBudget { max_iters: 0, deadline: Some(Instant::now()) };
+        let b = SolveBudget { deadline: Some(Instant::now()), ..Default::default() };
         std::thread::sleep(Duration::from_millis(2));
         assert!(b.expired());
     }

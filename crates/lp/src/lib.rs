@@ -12,8 +12,13 @@
 //!   factorization with product-form eta-file updates and periodic
 //!   refactorization (the original dense explicit inverse remains selectable
 //!   as a differential-testing oracle via [`EngineKind::Dense`]),
-//!   candidate-list partial pricing with a Bland anti-cycling fallback, and
-//!   warm starts from a previously optimal basis.
+//!   devex candidate-list pricing with Dantzig and Bland fallbacks, a
+//!   bound-flipping long-step dual ratio test, and warm starts from a
+//!   previously optimal basis.
+//! * [`presolve`] / [`crash`] — the cold-start accelerators: a reduce /
+//!   postsolve pass (fixed- and free-column elimination, empty/singleton-row
+//!   removal, bound tightening) with exact primal+dual recovery, and a
+//!   CRASH(LTSF)-style bound-shift crash that starts phase 1 near-feasible.
 //! * [`mip`] — a best-first branch-and-bound solver for models with binary /
 //!   integer variables, with a fix-and-dive rounding heuristic for incumbents.
 //! * [`rowgen`] — a lazy-constraint driver: repeatedly solve, ask an oracle
@@ -51,10 +56,12 @@
 
 pub mod basis;
 pub mod budget;
+pub mod crash;
 pub mod error;
 pub mod fault;
 pub mod mip;
 pub mod model;
+pub mod presolve;
 pub mod robust;
 pub mod rowgen;
 pub mod simplex;
@@ -69,7 +76,7 @@ pub use model::{Cmp, Model, RowId, Sense, VarId};
 pub use robust::{solve_robust, RobustOptions, RobustOutcome, Rung, RungAttempt, SolveReport};
 pub use rowgen::{solve_with_rowgen, RowGenOptions, RowGenResult, RowSpec};
 pub use simplex::{
-    solve_rhs_restart, Basis, RestartKind, SimplexOptions, Solution, SolveStatus,
+    solve_rhs_restart, Basis, Pricing, RestartKind, SimplexOptions, Solution, SolveStatus,
 };
 
 /// Default feasibility / optimality tolerance used across the workspace.

@@ -30,6 +30,11 @@ pub struct MipOptions {
     pub rel_gap: f64,
     /// Basis engine used for every node LP relaxation.
     pub engine: EngineKind,
+    /// Run the LP presolve on every node relaxation. Pays off in
+    /// branch-and-bound specifically: branching fixes binary columns, and
+    /// the presolve's fixed-column elimination shrinks each node LP before
+    /// the simplex sees it.
+    pub presolve: bool,
 }
 
 impl Default for MipOptions {
@@ -40,6 +45,7 @@ impl Default for MipOptions {
             abs_gap: 1e-6,
             rel_gap: 1e-6,
             engine: EngineKind::default(),
+            presolve: true,
         }
     }
 }
@@ -130,7 +136,11 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, LpError>
     let to_min = |obj: f64| min_sign * obj;
 
     let mut work = model.clone();
-    let simplex_opts = SimplexOptions { engine: opts.engine, ..SimplexOptions::default() };
+    let simplex_opts = SimplexOptions {
+        engine: opts.engine,
+        presolve: opts.presolve,
+        ..SimplexOptions::default()
+    };
 
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (x, obj_min_form)
     let mut heap = BinaryHeap::new();

@@ -199,6 +199,29 @@ impl Model {
         self.rhs[r.index()]
     }
 
+    /// Comparison sense of row `i` (by index; see [`Model::num_rows`]).
+    pub fn row_sense(&self, i: usize) -> Cmp {
+        self.row_cmp[i]
+    }
+
+    /// Bounds of variable `j` (by index; see [`Model::num_vars`]).
+    pub fn var_bounds(&self, j: usize) -> (f64, f64) {
+        (self.lb[j], self.ub[j])
+    }
+
+    /// Objective coefficient of variable `j` (by index).
+    pub fn objective_coeff(&self, j: usize) -> f64 {
+        self.obj[j]
+    }
+
+    /// Nonzero column entries of variable `j` as `(row index, coefficient)`.
+    /// Index-based like the other by-index accessors; used by external KKT
+    /// checks (e.g. the presolve differential tests) that validate duals
+    /// against the full model.
+    pub fn col_entries(&self, j: usize) -> Vec<(usize, f64)> {
+        self.cols.col(j).iter().collect()
+    }
+
     /// Solve the continuous relaxation with default options.
     pub fn solve(&self) -> Result<Solution, LpError> {
         simplex::solve(self, &SimplexOptions::default(), None)

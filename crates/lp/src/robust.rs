@@ -3,12 +3,13 @@
 //! [`solve_robust`] wraps the simplex in four escalation rungs, each one
 //! trading speed for numerical robustness:
 //!
-//! 1. **Warm** — the caller's options and warm basis, default
-//!    refactorization interval. Identical to the first attempt of
-//!    [`crate::Model::solve`].
-//! 2. **ColdRefactor** — cold start, refactorize every 8 pivots. Identical
-//!    to the internal retry of [`crate::Model::solve`], so a zero-fault
-//!    `solve_robust` reproduces `solve` bit for bit.
+//! 1. **Warm** — the caller's options and warm basis: devex pricing,
+//!    presolve on cold starts, default refactorization interval. Identical
+//!    to the first attempt of [`crate::Model::solve`].
+//! 2. **ColdRefactor** — cold start, Dantzig pricing (no devex weight
+//!    state), refactorize every 8 pivots. Identical to the internal retry
+//!    of [`crate::Model::solve`], so a zero-fault `solve_robust`
+//!    reproduces `solve` bit for bit.
 //! 3. **BlandSafe** — cold start, Bland's rule from the first pivot, tight
 //!    refactorization, on the *dense* basis engine
 //!    ([`crate::EngineKind::Dense`]). Cycle-proof and independent of the
@@ -139,11 +140,17 @@ pub struct RobustOptions {
     pub budget: SolveBudget,
     /// Relative magnitude of the rung-4 bound/RHS jitter.
     pub perturb: f64,
+    /// Run the presolve pass on cold solves (rungs 1–2). On by default;
+    /// callers that need the *unreduced* dual vector bit-for-bit — e.g. the
+    /// Benders cut extraction, whose cuts must not depend on which
+    /// reductions fired — turn it off. Rung 3 (Bland safe mode) never
+    /// presolves regardless.
+    pub presolve: bool,
 }
 
 impl Default for RobustOptions {
     fn default() -> Self {
-        RobustOptions { budget: SolveBudget::unlimited(), perturb: 1e-7 }
+        RobustOptions { budget: SolveBudget::unlimited(), perturb: 1e-7, presolve: true }
     }
 }
 
@@ -210,7 +217,7 @@ pub fn solve_robust(
     warm: Option<&Basis>,
 ) -> RobustOutcome {
     let mut report = SolveReport::default();
-    let base = opts.budget.simplex_options();
+    let base = SimplexOptions { presolve: opts.presolve, ..opts.budget.simplex_options() };
 
     // Rung 1: warm, default interval (== first attempt of Model::solve).
     let t0 = std::time::Instant::now();
@@ -228,8 +235,13 @@ pub fn solve_robust(
         }
     }
 
-    // Rung 2: cold start, refactorize every 8 (== Model::solve's retry).
-    let cold = SimplexOptions { refactor_every: Some(8), ..base };
+    // Rung 2: cold start, Dantzig pricing, refactorize every 8
+    // (== Model::solve's internal retry, kept behaviourally identical).
+    let cold = SimplexOptions {
+        pricing: crate::simplex::Pricing::Dantzig,
+        refactor_every: Some(8),
+        ..base
+    };
     let t0 = std::time::Instant::now();
     match solve_single(model, &cold, None) {
         Ok(sol) => {

@@ -4,22 +4,36 @@
 //!
 //! * Every row `a·x (cmp) b` gets a slack `s` with `a·x + s = b` and bounds
 //!   `[0, ∞)` (for `≤`), `(-∞, 0]` (for `≥`) or `[0, 0]` (for `=`).
-//! * Phase 1 starts from the all-slack basis; rows whose slack value violates
-//!   its bounds get a `±1` artificial column with phase-1 cost 1. Once the
-//!   artificial sum reaches zero the artificials are frozen at `[0, 0]` and
-//!   phase 2 runs with the true cost.
+//! * Cold solves first run the presolve/postsolve pass ([`crate::presolve`]):
+//!   fixed/free-column elimination, empty/singleton-row removal and bound
+//!   tightening shrink the model, and the postsolve maps the reduced
+//!   solution (primal, duals, basis) back exactly.
+//! * Phase 1 starts from the all-slack basis after a bound-shift crash
+//!   ([`crate::crash`]) flips doubly-bounded structurals toward feasibility;
+//!   rows whose slack value still violates its bounds get a `±1` artificial
+//!   column with phase-1 cost 1. Once the artificial sum reaches zero the
+//!   artificials are frozen at `[0, 0]` and phase 2 runs with the true cost.
 //! * The basis is maintained behind a [`BasisEngine`]: by default a sparse
 //!   Markowitz LU factorization with a product-form eta file appended per
 //!   pivot, refactorized from scratch periodically (and whenever drift is
 //!   detected); the explicit dense inverse survives as the selectable
 //!   [`EngineKind::Dense`] oracle.
-//! * Pricing is Dantzig (most negative reduced cost) over a **candidate
-//!   list**: a full pricing pass stashes the most attractive columns, and
-//!   subsequent iterations scan only that list, falling back to a full pass
-//!   when the list runs dry. Optimality is only ever declared by a full
-//!   pass. After a run of degenerate pivots the solver switches to Bland's
-//!   rule (full lowest-index scan), which guarantees termination, and
-//!   switches back once progress resumes.
+//! * Pricing is devex by default ([`Pricing::Devex`]: candidate scores
+//!   `d_j²/w_j` with reference weights updated per pivot) over a
+//!   **candidate list** refilled incrementally from a rotating cursor:
+//!   when the list runs dry the scan resumes where the previous refill
+//!   stopped and collects up to the cap of attractive columns, so
+//!   successive refills cover fresh columns instead of re-pricing the same
+//!   prefix. Only a refill that wraps the full column range without
+//!   finding an attractive column declares optimality. Dantzig scoring
+//!   remains selectable ([`Pricing::Dantzig`]) for the retry/robust paths.
+//!   After a run of degenerate pivots the solver switches to Bland's rule
+//!   (full lowest-index scan), which guarantees termination, and switches
+//!   back once progress resumes.
+//! * The dual simplex uses a bound-flipping (long-step) ratio test: one
+//!   dual pivot may flip any number of doubly-bounded columns whose
+//!   breakpoints it crosses, which is what keeps RHS-only scenario
+//!   restarts to a handful of pivots.
 //! * Warm starts: [`Solution::basis`] can be fed back into
 //!   [`solve`] for a structurally identical model (same variables and rows,
 //!   possibly different RHS/bounds/objective). If the saved basis is not
@@ -54,8 +68,24 @@ pub enum SolveStatus {
     Unbounded,
 }
 
+/// Pricing rule used by the primal phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Devex reference-framework pricing (the default): candidate scores are
+    /// `d_j² / w_j` with reference weights updated after every pivot, which
+    /// approximates steepest edge at a fraction of its cost and typically
+    /// needs far fewer pivots than a plain most-negative-cost rule.
+    #[default]
+    Devex,
+    /// Classic Dantzig pricing (most negative reduced cost). Retained as the
+    /// fallback rule for the numerical-retry path of [`solve`] and the
+    /// cold-refactor rung of [`crate::solve_robust`]; Bland's rule remains
+    /// the final anti-cycling fallback behind both.
+    Dantzig,
+}
+
 /// Options controlling a simplex run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SimplexOptions {
     /// Hard cap on simplex iterations (phases combined). `0` means automatic
     /// (`50 · (rows + cols) + 10_000`).
@@ -74,16 +104,48 @@ pub struct SimplexOptions {
     /// inverse remains selectable as a differential-testing oracle and is
     /// what the Bland-safe rung of [`crate::solve_robust`] uses.
     pub engine: EngineKind,
+    /// Primal pricing rule (see [`Pricing`]). Ignored under `force_bland`.
+    pub pricing: Pricing,
+    /// Run the presolve/postsolve pass ([`crate::presolve`]) before a cold
+    /// solve. On by default; automatically skipped for warm-started solves
+    /// (the saved basis addresses the full column space) and under
+    /// `force_bland` (the safe rung runs the textbook path unmodified).
+    pub presolve: bool,
+    /// Run the bound-shift crash ([`crate::crash`]) before installing
+    /// phase-1 artificials on a cold start. On by default; skipped under
+    /// `force_bland` for the same reason as presolve.
+    pub crash: bool,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iters: 0,
+            deadline: None,
+            force_bland: false,
+            refactor_every: None,
+            engine: EngineKind::default(),
+            pricing: Pricing::default(),
+            presolve: true,
+            crash: true,
+        }
+    }
 }
 
 /// A basis snapshot usable for warm-starting a later solve.
 #[derive(Debug, Clone)]
 pub struct Basis {
-    basis: Vec<usize>,
-    status: Vec<VarStatus>,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) status: Vec<VarStatus>,
 }
 
 impl Basis {
+    /// Assemble a basis from raw parts (used by the presolve postsolve to
+    /// map a reduced-space basis back to the full column space).
+    pub(crate) fn from_parts(basis: Vec<usize>, status: Vec<VarStatus>) -> Self {
+        Basis { basis, status }
+    }
+
     /// Number of basic columns (= rows of the solve that produced it).
     pub fn size(&self) -> usize {
         self.basis.len()
@@ -168,7 +230,7 @@ impl Solution {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarStatus {
+pub(crate) enum VarStatus {
     Basic,
     AtLower,
     AtUpper,
@@ -334,6 +396,7 @@ enum PhaseEnd {
 struct PhaseCtl {
     deadline: Option<std::time::Instant>,
     force_bland: bool,
+    pricing: Pricing,
 }
 
 impl PhaseCtl {
@@ -375,14 +438,26 @@ fn run_phase(
     let mut cb = vec![0.0; m];
     let mut degen_run = 0usize;
     let mut bland = ctl.force_bland;
+    let devex = ctl.pricing == Pricing::Devex && !ctl.force_bland;
 
-    // Candidate-list partial pricing: a full pass stashes the most
-    // attractive columns; later iterations re-price only the list (with
-    // Dantzig selection inside it) until it runs dry. The list size scales
-    // with the column count so big LPs amortize many pivots per full pass.
-    let cand_cap = (w.ncols() / 16).clamp(10, 200);
+    // Candidate-list partial pricing: a refill pass stashes attractive
+    // columns; later iterations re-price only the list until it runs dry.
+    // The cap scales with the column count (no fixed upper clamp) so big
+    // LPs amortize many pivots per refill scan.
+    let cand_cap = (w.ncols() / 16).max(10);
     let mut cand: Vec<u32> = Vec::with_capacity(cand_cap);
-    let mut scored: Vec<(f64, u32)> = Vec::new();
+    // Rotating refill cursor: each refill resumes scanning where the last
+    // one stopped, so successive refills cover *fresh* columns instead of
+    // re-pricing the same prefix over and over (the staleness that used to
+    // force full Dantzig rescans).
+    let mut cursor = 0usize;
+    // Devex reference weights. The reference framework is the nonbasic set
+    // at phase start (all weights 1); it is re-anchored when the weights
+    // grow past `DEVEX_RESET`.
+    const DEVEX_RESET: f64 = 1e8;
+    let mut weights: Vec<f64> = if devex { vec![1.0; w.ncols()] } else { Vec::new() };
+    let mut wmax = 1.0f64;
+    let mut devex_row: Vec<f64> = if devex { vec![0.0; m] } else { Vec::new() };
 
     loop {
         if *iter_budget == 0 {
@@ -400,8 +475,16 @@ fn run_phase(
         }
         w.engine.btran(&cb, &mut y);
 
-        // Pricing.
-        let mut enter: Option<(usize, f64, f64)> = None; // (col, |d|, dir)
+        // Pricing. Candidate scores are |d| under Dantzig and d²/w under
+        // devex; either way the largest score enters.
+        let score_of = |d_abs: f64, j: usize, weights: &[f64]| -> f64 {
+            if devex {
+                d_abs * d_abs / weights[j]
+            } else {
+                d_abs
+            }
+        };
+        let mut enter: Option<(usize, f64, f64)> = None; // (col, score, dir)
         if bland {
             // Bland's rule: full scan, lowest attractive index (anti-cycling
             // depends on the full lowest-index order; no candidate list).
@@ -414,13 +497,14 @@ fn run_phase(
         } else {
             if !cand.is_empty() {
                 // Price only the candidate list, pruning entries that went
-                // basic, fixed, or unattractive since the last full pass.
+                // basic, fixed, or unattractive since they were collected.
                 let mut keep = 0;
                 for idx in 0..cand.len() {
                     let j = cand[idx] as usize;
-                    if let Some((score, dir)) = price_col(w, cost, &y, j) {
+                    if let Some((d_abs, dir)) = price_col(w, cost, &y, j) {
                         cand[keep] = j as u32;
                         keep += 1;
+                        let score = score_of(d_abs, j, &weights);
                         match enter {
                             Some((_, best, _)) if score <= best => {}
                             _ => enter = Some((j, score, dir)),
@@ -433,27 +517,31 @@ fn run_phase(
                 }
             }
             if enter.is_none() {
-                // Full pricing pass; only this path may declare optimality.
+                // Incremental refill from the rotating cursor: scan until
+                // `cand_cap` attractive columns are found or the scan wraps
+                // around. A full wrap that finds nothing is a complete
+                // pricing pass at the current duals — the only way this
+                // path declares optimality.
                 flexile_obs::add("lp.pricing_rescans", 1);
-                scored.clear();
-                for j in 0..w.ncols() {
-                    if let Some((score, dir)) = price_col(w, cost, &y, j) {
+                cand.clear();
+                let ncols = w.ncols();
+                let mut scanned = 0usize;
+                while scanned < ncols && cand.len() < cand_cap {
+                    let j = cursor;
+                    cursor += 1;
+                    if cursor == ncols {
+                        cursor = 0;
+                    }
+                    scanned += 1;
+                    if let Some((d_abs, dir)) = price_col(w, cost, &y, j) {
+                        cand.push(j as u32);
+                        let score = score_of(d_abs, j, &weights);
                         match enter {
                             Some((_, best, _)) if score <= best => {}
                             _ => enter = Some((j, score, dir)),
                         }
-                        scored.push((score, j as u32));
                     }
                 }
-                // Rebuild the list from the most attractive columns. Sort is
-                // descending by score with the column index as a total-order
-                // tie-break, so the rebuilt list is deterministic.
-                scored.sort_unstable_by(|a, b| {
-                    b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
-                });
-                scored.truncate(cand_cap);
-                cand.clear();
-                cand.extend(scored.iter().map(|&(_, j)| j));
             }
         }
         let (q, _, dir) = match enter {
@@ -555,6 +643,46 @@ fn run_phase(
                     w.xb[i] -= dir * t_best * ftran[i];
                 }
                 let leaving = w.basis[r];
+                if devex {
+                    // Partial devex weight update: the pivot row e_r^T B⁻¹
+                    // (taken before the basis changes) gives each candidate's
+                    // alpha_j; the reference weight becomes
+                    // max(w_j, (alpha_j/alpha_r)² w_q). Restricting the
+                    // update to the candidate list keeps the cost at one
+                    // unit BTRAN plus a handful of column dots per pivot.
+                    let alpha_r = ftran[r];
+                    let wq = weights[q];
+                    w.engine.btran_unit(r, &mut devex_row);
+                    let mut updates = 0u64;
+                    for &cj in cand.iter() {
+                        let j = cj as usize;
+                        if j == q {
+                            continue;
+                        }
+                        let aj = w.col_dot(j, &devex_row);
+                        if aj == 0.0 {
+                            continue;
+                        }
+                        let cand_w = (aj / alpha_r) * (aj / alpha_r) * wq;
+                        if cand_w > weights[j] {
+                            weights[j] = cand_w;
+                            wmax = wmax.max(cand_w);
+                            updates += 1;
+                        }
+                    }
+                    let wl = (wq / (alpha_r * alpha_r)).max(1.0);
+                    weights[leaving] = wl;
+                    wmax = wmax.max(wl);
+                    flexile_obs::add("lp.devex_updates", updates + 1);
+                    if wmax > DEVEX_RESET {
+                        // Weights drifted too far from the reference
+                        // framework: re-anchor at the current nonbasic set.
+                        for wgt in weights.iter_mut() {
+                            *wgt = 1.0;
+                        }
+                        wmax = 1.0;
+                    }
+                }
                 // The leaving variable lands on whichever bound blocked.
                 let delta = dir * ftran[r];
                 w.status[leaving] =
@@ -614,6 +742,11 @@ fn run_dual_phase(
     let mut cb = vec![0.0; m];
     let mut row = vec![0.0; m];
     let mut ftran = vec![0.0; m];
+    // Long-step ratio-test scratch, hoisted out of the pivot loop.
+    let mut bps: Vec<(f64, u32, f64)> = Vec::new(); // (ratio, col, alpha)
+    let mut flipped: Vec<usize> = Vec::new();
+    let mut delta = vec![0.0; m];
+    let mut ftd = vec![0.0; m];
 
     loop {
         if *iter_budget == 0 {
@@ -651,10 +784,18 @@ fn run_dual_phase(
         w.engine.btran(&cb, &mut y);
         w.engine.btran_unit(r, &mut row);
 
-        // Dual ratio test: among nonbasic columns whose motion pushes the
-        // leaving basic toward its violated bound, pick the one with the
-        // smallest |d_j / alpha_j| so every reduced cost keeps its sign.
-        let mut enter: Option<(usize, f64, f64)> = None; // (col, ratio, alpha)
+        // Long-step (bound-flipping) dual ratio test. The breakpoints are
+        // the classic dual ratios |d_j / alpha_j| of every eligible nonbasic
+        // column. Walking them in increasing order, a doubly-bounded column
+        // whose full bound-to-bound flip cannot absorb the remaining
+        // infeasibility is simply flipped to its other bound — its reduced
+        // cost changes sign exactly when the dual step crosses its
+        // breakpoint, so dual feasibility is preserved — and the walk
+        // continues; the first column that can absorb the residual enters.
+        // One dual pivot thus crosses many breakpoints, which is what makes
+        // the RHS-only scenario restarts cheap when many small bounded
+        // columns sit between the old and the new optimum.
+        bps.clear();
         for j in 0..w.ncols() {
             if w.status[j] == VarStatus::Basic || w.ub[j] - w.lb[j] <= 0.0 {
                 continue;
@@ -680,27 +821,79 @@ fn run_dual_phase(
                 continue;
             }
             let d = cost[j] - w.col_dot(j, &y);
-            let ratio = (d / alpha).abs();
-            if enter.is_none_or(|(_, best, a)| {
-                ratio < best - 1e-12 || (ratio <= best + 1e-12 && alpha.abs() > a.abs())
-            }) {
-                enter = Some((j, ratio, alpha));
+            bps.push(((d / alpha).abs(), j as u32, alpha));
+        }
+        // Deterministic walk order: ratio ascending, near-ties broken toward
+        // the larger |alpha| (more stable pivot), then the column index.
+        bps.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    b.2.abs().partial_cmp(&a.2.abs()).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then(a.1.cmp(&b.1))
+        });
+        let target = if below_lb { w.lb[w.basis[r]] } else { w.ub[w.basis[r]] };
+        let mut need_abs = (target - w.xb[r]).abs();
+        let mut enter_q: Option<usize> = None;
+        flipped.clear();
+        for &(_, cj, alpha) in bps.iter() {
+            let j = cj as usize;
+            let range = w.ub[j] - w.lb[j];
+            // A full flip of j moves xb_r by range · |alpha| in the
+            // repairing direction; infinite for free / one-sided columns.
+            let gain = range * alpha.abs();
+            if gain.is_finite() && gain < need_abs - FEAS_TOL {
+                need_abs -= gain;
+                flipped.push(j);
+            } else {
+                enter_q = Some(j);
+                break;
             }
         }
-        let (q, _, _) = match enter {
-            Some(e) => e,
+        let q = match enter_q {
+            Some(q) => q,
+            // No eligible column at all, or every one flipped with residual
+            // infeasibility left: the dual is unbounded ⇒ primal infeasible.
             None => return Ok(DualEnd::PrimalInfeasible),
         };
+        if !flipped.is_empty() {
+            // Apply all bound flips with a single dense FTRAN: accumulate
+            // the RHS shift Σ_j a_j Δx_j, solve B·d = shift, move the basics.
+            for dv in delta.iter_mut() {
+                *dv = 0.0;
+            }
+            for &j in &flipped {
+                let range = w.ub[j] - w.lb[j];
+                let dx = match w.status[j] {
+                    VarStatus::AtLower => {
+                        w.status[j] = VarStatus::AtUpper;
+                        range
+                    }
+                    VarStatus::AtUpper => {
+                        w.status[j] = VarStatus::AtLower;
+                        -range
+                    }
+                    _ => 0.0, // unreachable: only doubly-bounded columns flip
+                };
+                w.for_col(j, |rr, v| delta[rr] += v * dx);
+            }
+            w.engine.ftran_dense(&delta, &mut ftd);
+            for i in 0..m {
+                w.xb[i] -= ftd[i];
+            }
+            flexile_obs::add("lp.dual_bound_flips", flipped.len() as u64);
+        }
 
         // Primal step: move q so that xb_r lands exactly on its violated
-        // bound. dir and step follow from alpha's sign.
+        // bound (xb_r re-read after the flips shifted it). dir and step
+        // follow from alpha's sign.
         let col = {
             let mut entries = Vec::new();
             w.for_col(q, |rr, v| entries.push((rr as u32, v)));
             SparseCol::from_entries(entries)
         };
         w.engine.ftran(&col, &mut ftran);
-        let target = if below_lb { w.lb[w.basis[r]] } else { w.ub[w.basis[r]] };
         // xb_r + (-dir t alpha) = target, with |ftran[r]| == |alpha|.
         let need = target - w.xb[r];
         let dir_t = -need / ftran[r]; // dir * t
@@ -761,7 +954,14 @@ pub fn solve(
     warm: Option<&Basis>,
 ) -> Result<Solution, LpError> {
     match solve_attempt(model, opts, warm, opts.refactor_every.unwrap_or(REFACTOR_EVERY)) {
-        Err(LpError::Numerical(_)) => solve_attempt(model, opts, None, 8),
+        Err(LpError::Numerical(_)) => {
+            // Retry on the conservative rule set: Dantzig pricing (no weight
+            // state to go stale) and a short refactorization interval. This
+            // mirrors rung 2 of [`crate::solve_robust`], so the internal
+            // retry and the ladder rung stay behaviourally identical.
+            let retry = SimplexOptions { pricing: Pricing::Dantzig, ..*opts };
+            solve_attempt(model, &retry, None, 8)
+        }
         other => other,
     }
 }
@@ -808,7 +1008,29 @@ fn solve_attempt(
     warm: Option<&Basis>,
     refactor_every: usize,
 ) -> Result<Solution, LpError> {
+    // Presolve hook: cold solves only (a warm basis addresses the full
+    // column space) and never on the Bland-safe path, which must run the
+    // textbook algorithm unmodified. Exactly one fault-injection poll
+    // happens per attempt either way: `try_solve_presolved` polls (directly
+    // for terminal presolve outcomes, via the inner reduced solve
+    // otherwise), and when it declines with `None` the poll happens in
+    // `solve_attempt_traced` below.
+    if opts.presolve && warm.is_none() && !opts.force_bland {
+        if let Some(sol) = crate::presolve::try_solve_presolved(model, opts, refactor_every)? {
+            return Ok(sol);
+        }
+    }
     solve_attempt_traced(model, opts, warm, refactor_every, false).map(|(sol, _)| sol)
+}
+
+/// Solve an already-presolved model directly, bypassing the presolve hook
+/// (recursing through it would re-run the reductions on their own output).
+pub(crate) fn solve_reduced(
+    model: &Model,
+    opts: &SimplexOptions,
+    refactor_every: usize,
+) -> Result<Solution, LpError> {
+    solve_attempt_traced(model, opts, None, refactor_every, false).map(|(sol, _)| sol)
 }
 
 fn solve_attempt_traced(
@@ -821,7 +1043,11 @@ fn solve_attempt_traced(
     if let Some(kind) = crate::fault::poll() {
         return Err(kind.to_error());
     }
-    let ctl = PhaseCtl { deadline: opts.deadline, force_bland: opts.force_bland };
+    let ctl = PhaseCtl {
+        deadline: opts.deadline,
+        force_bland: opts.force_bland,
+        pricing: opts.pricing,
+    };
     if ctl.past_deadline() {
         return Err(LpError::DeadlineExceeded);
     }
@@ -969,6 +1195,25 @@ fn solve_attempt_traced(
                 }
             })
             .collect();
+        // Crash: greedily flip doubly-bounded structurals to whichever bound
+        // leaves fewer slack rows violated, so fewer artificials get
+        // installed below and phase 1 starts near-feasible. Statuses are
+        // only rewritten where the crash actually chose a different side.
+        if opts.crash && !ctl.force_bland {
+            let mut at_upper: Vec<bool> =
+                (0..n).map(|j| w.status[j] == VarStatus::AtUpper).collect();
+            let stats = crate::crash::bound_shift(model, &w.lb, &w.ub, &mut at_upper);
+            if stats.flips > 0 {
+                for j in 0..n {
+                    let cur_up = w.status[j] == VarStatus::AtUpper;
+                    if at_upper[j] != cur_up && w.status[j] != VarStatus::FreeZero {
+                        w.status[j] =
+                            if at_upper[j] { VarStatus::AtUpper } else { VarStatus::AtLower };
+                    }
+                }
+                flexile_obs::add("lp.crash_basis_pivots_saved", stats.rows_fixed as u64);
+            }
+        }
         // B = I for the all-slack basis, so the basic values are just the
         // reduced RHS — no factorization needed to compute them.
         w.reduced_rhs();
@@ -1054,13 +1299,20 @@ fn solve_attempt_traced(
     }
     flexile_obs::add("lp.pivots.phase2", (total_iters - p2_from) as u64);
 
-    // Numerical hygiene: refactorize once and verify.
-    w.refactorize()?;
-    if w.primal_infeas() > 1e-5 {
-        return Err(LpError::Numerical(format!(
-            "primal infeasibility {} after optimization",
-            w.primal_infeas()
-        )));
+    // Numerical hygiene: refactorize once and verify — but only when eta
+    // updates have actually accumulated since the last factorization. A
+    // solve that ended on a refactorization boundary (or did no pivots at
+    // all, the common warm-hit case) has a fresh factorization with nothing
+    // to verify, and the redundant rebuild was a measurable fraction of the
+    // 1.2M refactorizations in the warm_restart record.
+    if w.pivots_since_refactor > 0 {
+        w.refactorize()?;
+        if w.primal_infeas() > 1e-5 {
+            return Err(LpError::Numerical(format!(
+                "primal infeasibility {} after optimization",
+                w.primal_infeas()
+            )));
+        }
     }
 
     // Extract the solution.
