@@ -1,0 +1,236 @@
+//! `batch_kernel` — multi-RHS batched solve kernel benchmark.
+//!
+//! Measures what the shared-factorization batch path
+//! ([`flexile_lp::solve_rhs_batch`]) saves over sequential
+//! [`flexile_lp::Model::solve_rhs_restart`] calls when many RHS variants
+//! restart from one warm basis — the exact shape of a Benders iteration
+//! re-solving a scenario block through one template.
+//!
+//! Per Table-2 topology: build the min-MLU routing LP, solve it cold once
+//! for a warm basis, then generate [`MEMBERS`] deterministic small RHS
+//! perturbations (LCG-seeded, relative `1e-9` on the demand rows — inside
+//! the basis's optimality cone for most members, so the joint fast path
+//! dominates, with the occasional divergence exercising the scalar
+//! fallback). Each member list is solved:
+//!
+//! * `scalar` — sequential `solve_rhs_restart`, one engine FTRAN + two
+//!   BTRANs per member;
+//! * `batch` at widths {1, 4, 16, 64} — `solve_rhs_batch` over
+//!   width-sized chunks: per bucket one block FTRAN + one shared BTRAN,
+//!   however many members the bucket holds.
+//!
+//! Every batched run is asserted **bit-identical** to the scalar run
+//! (objective, primal, dual bits), and the width ≥ 16 runs are asserted to
+//! cut FTRAN+BTRAN engine invocations by at least 2× (the CI smoke gates
+//! 0.6× on FTRAN alone). Pivot counts are printed so cross-run
+//! determinism can be diffed. Under `repro --obs DIR` the per-width rows
+//! are embedded as a `"batch_rows"` array in `BENCH_batch_kernel.json`.
+
+use crate::{lp_basis::mlu_model, ExpConfig};
+use flexile_lp::{Basis, Model, RhsBatchMember, SimplexOptions, Solution, SolveScratch};
+use flexile_topo::topology_by_name;
+use flexile_traffic::Instance;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Table-2 topologies (the `warm_restart` set, so the two benchmarks
+/// describe the same instances).
+const TOPOLOGIES: [&str; 4] = ["Sprint", "IBM", "CWIX", "Quest"];
+
+/// RHS variants solved per topology per mode.
+const MEMBERS: usize = 64;
+
+/// Batch widths measured (1 = the degenerate one-member batch).
+const WIDTHS: [usize; 4] = [1, 4, 16, 64];
+
+/// Relative perturbation applied to nonzero RHS entries. The warm-accept
+/// tolerance is `1e-6` *absolute*, and the basis inverse amplifies RHS
+/// noise, so this sits well below it: most members stay primal feasible
+/// under the warm basis (the joint fast path the kernel exists for), while
+/// strongly degenerate vertices still push the occasional member through
+/// the divergence fallback.
+const PERTURB: f64 = 1e-9;
+
+/// Per-run records for the `BENCH_batch_kernel.json` `"batch_rows"` array.
+static BATCH_RECORDS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Drain the JSON records of the most recent [`run_batch_kernel`] call.
+pub fn take_batch_records() -> Vec<String> {
+    std::mem::take(&mut *BATCH_RECORDS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+}
+
+/// Engine-call and pivot counters this experiment diffs around each run.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counts {
+    ftran: u64,
+    btran: u64,
+    pivots: u64,
+    divergences: u64,
+}
+
+fn counts() -> Counts {
+    let t = flexile_obs::snapshot();
+    let c = |n: &str| t.counters.get(n).copied().unwrap_or(0);
+    Counts {
+        ftran: c("lp.ftran_calls"),
+        btran: c("lp.btran_calls"),
+        pivots: c("lp.pivots.phase1") + c("lp.pivots.phase2") + c("lp.pivots.dual"),
+        divergences: c("lp.batch_divergences"),
+    }
+}
+
+fn delta(before: Counts, after: Counts) -> Counts {
+    Counts {
+        ftran: after.ftran - before.ftran,
+        btran: after.btran - before.btran,
+        pivots: after.pivots - before.pivots,
+        divergences: after.divergences - before.divergences,
+    }
+}
+
+fn bits(sols: &[Solution]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for s in sols {
+        out.push(s.objective.to_bits());
+        out.extend(s.x.iter().map(|v| v.to_bits()));
+        out.extend(s.duals.iter().map(|v| v.to_bits()));
+    }
+    out
+}
+
+/// Sequential scalar oracle: install each RHS, restart, restore.
+fn scalar_run(model: &mut Model, opts: &SimplexOptions, rhss: &[Vec<f64>], warm: &Basis) -> Vec<Solution> {
+    let entry: Vec<f64> = model.rhs_values().to_vec();
+    let mut out = Vec::with_capacity(rhss.len());
+    for rhs in rhss {
+        model.set_rhs_values(rhs);
+        let (sol, _) = model.solve_rhs_restart(opts, warm).expect("scalar restart");
+        out.push(sol);
+    }
+    model.set_rhs_values(&entry);
+    out
+}
+
+/// Batched run chunked at `width`.
+fn batch_run(
+    model: &mut Model,
+    opts: &SimplexOptions,
+    rhss: &[Vec<f64>],
+    warm: &Basis,
+    width: usize,
+) -> Vec<Solution> {
+    let mut scratch = SolveScratch::new();
+    let mut out = Vec::with_capacity(rhss.len());
+    for chunk in rhss.chunks(width) {
+        let members: Vec<RhsBatchMember<'_>> =
+            chunk.iter().map(|rhs| RhsBatchMember { rhs, warm }).collect();
+        for res in model.solve_rhs_batch(opts, &members, &mut scratch) {
+            let (sol, _) = res.expect("batch restart");
+            out.push(sol);
+        }
+    }
+    out
+}
+
+fn emit(name: &str, mode: &str, width: usize, d: Counts, wall_ms: f64) {
+    println!(
+        "row,{name},{mode},{width},{MEMBERS},{},{},{},{},{wall_ms:.3}",
+        d.ftran, d.btran, d.pivots, d.divergences
+    );
+    BATCH_RECORDS.lock().unwrap_or_else(|e| e.into_inner()).push(format!(
+        "{{\"topology\":\"{name}\",\"mode\":\"{mode}\",\"width\":{width},\
+         \"members\":{MEMBERS},\"ftran\":{},\"btran\":{},\"pivots\":{},\
+         \"divergences\":{},\"wall_ms\":{wall_ms:.3}}}",
+        d.ftran, d.btran, d.pivots, d.divergences
+    ));
+}
+
+/// Run the `batch_kernel` experiment. `limit` caps the number of
+/// topologies (in [`TOPOLOGIES`] order, so `--limit 1` is a Sprint-only
+/// smoke run). CSV schema:
+///
+/// ```text
+/// row,topology,mode,width,members,ftran,btran,pivots,divergences,wall_ms
+/// ```
+pub fn run_batch_kernel(cfg: &ExpConfig, limit: usize) {
+    take_batch_records(); // reset stale records from a prior experiment
+    // The engine-call counters only exist while the sink is on; own it for
+    // the duration if the harness hasn't already enabled it.
+    let owned_sink = !flexile_obs::enabled();
+    if owned_sink {
+        flexile_obs::enable();
+    }
+    println!("section,topology,mode,width,members,ftran,btran,pivots,divergences,wall_ms");
+    for name in TOPOLOGIES.iter().take(limit.max(1)) {
+        let Some(topo) = topology_by_name(name) else {
+            cfg.progress(format!("batch_kernel: unknown topology {name}, skipped"));
+            continue;
+        };
+        let pairs_cap = if *name == "Sprint" { cfg.max_pairs } else { Some(500) };
+        let inst = Instance::single_class(topo, cfg.traffic_seed(name), cfg.target_mlu, pairs_cap);
+        let mut model = mlu_model(&inst.topo, &inst.tunnels[0], &inst.demands[0]);
+        cfg.progress(format!(
+            "batch_kernel: {name} — {} rows, {} cols, {MEMBERS} members",
+            model.num_rows(),
+            model.num_vars()
+        ));
+        let opts = SimplexOptions::default();
+        let warm = model.solve_with(&opts, None).expect("cold min-MLU solve").basis;
+
+        // Deterministic member RHS vectors: relative noise on nonzero
+        // entries (demand rows); the homogeneous capacity rows stay 0.
+        let base: Vec<f64> = model.rhs_values().to_vec();
+        let mut st = cfg.seed ^ 0xba7c4_u64.wrapping_mul(cfg.traffic_seed(name));
+        let rhss: Vec<Vec<f64>> = (0..MEMBERS)
+            .map(|_| {
+                base.iter().map(|&v| v * (1.0 + PERTURB * (2.0 * lcg(&mut st) - 1.0))).collect()
+            })
+            .collect();
+
+        let before = counts();
+        let t0 = Instant::now();
+        let reference = scalar_run(&mut model, &opts, &rhss, &warm);
+        let scalar_wall = t0.elapsed().as_secs_f64() * 1e3;
+        let scalar_counts = delta(before, counts());
+        emit(name, "scalar", 0, scalar_counts, scalar_wall);
+        let ref_bits = bits(&reference);
+
+        for &width in &WIDTHS {
+            let before = counts();
+            let t0 = Instant::now();
+            let sols = batch_run(&mut model, &opts, &rhss, &warm, width);
+            let wall = t0.elapsed().as_secs_f64() * 1e3;
+            let d = delta(before, counts());
+            emit(name, "batch", width, d, wall);
+            assert_eq!(
+                ref_bits,
+                bits(&sols),
+                "{name} width {width}: batched solutions must be bit-identical to scalar"
+            );
+            if width >= 16 {
+                let scalar_calls = scalar_counts.ftran + scalar_counts.btran;
+                let batch_calls = d.ftran + d.btran;
+                assert!(
+                    2 * batch_calls <= scalar_calls,
+                    "{name} width {width}: FTRAN+BTRAN {batch_calls} not ≥2× below \
+                     scalar {scalar_calls}"
+                );
+                assert!(
+                    10 * d.ftran <= 6 * scalar_counts.ftran,
+                    "{name} width {width}: FTRAN {} not < 0.6× scalar {}",
+                    d.ftran,
+                    scalar_counts.ftran
+                );
+            }
+        }
+    }
+    if owned_sink {
+        flexile_obs::disable();
+        let _ = flexile_obs::drain();
+    }
+}

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch_kernel;
 pub mod bench_check;
 pub mod checkpoint;
 pub mod figs_ibm;

@@ -275,6 +275,7 @@ pub fn options_fingerprint(opts: &FlexileOptions) -> u64 {
         PoolPolicy::Cold => 2,
     });
     h.u64(opts.basis_residency as u64);
+    h.u64(opts.batch_width as u64);
     match opts.gamma {
         Some(g) => {
             h.u64(1);

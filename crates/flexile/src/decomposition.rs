@@ -84,6 +84,14 @@ pub struct FlexileOptions {
     /// and preserves exact bit-reproducibility; with it armed, outcomes can
     /// depend on wall clock.
     pub watchdog: Option<Duration>,
+    /// Maximum scenarios per shared-factorization batch unit under
+    /// [`PoolPolicy::PerScenario`]: consecutive warm same-demand-factor
+    /// scenarios are dispatched together and dual-restarted through one
+    /// factorization ([`flexile_lp::solve_rhs_batch`]), with per-member
+    /// fallback to the scalar path on divergence. `0` or `1` disables
+    /// batching. Any width produces bit-identical results — the knob
+    /// trades factorization reuse against scheduling granularity.
+    pub batch_width: usize,
     /// Directory to write crash-recovery checkpoints into (as
     /// `flexile.ckpt`); `None` (default) disables checkpointing. The
     /// zero-fault trajectory is unaffected either way — checkpointing only
@@ -106,6 +114,7 @@ impl Default for FlexileOptions {
             pool: PoolPolicy::default(),
             basis_residency: 4096,
             watchdog: None,
+            batch_width: 16,
             checkpoint_dir: None,
             checkpoint_every: 1,
         }
@@ -319,6 +328,7 @@ fn dispatch(
         set,
         loss_ub: prep.loss_ub.as_deref(),
         watchdog: opts.watchdog,
+        batch_width: opts.batch_width,
     };
     match opts.pool {
         PoolPolicy::LegacyStriped => {

@@ -56,7 +56,7 @@
 //! was warm-started across *different* scenarios in thread-dependent order.
 
 use crate::subproblem::{SolveStats, SubproblemSolution, SubproblemTemplate};
-use flexile_lp::LpError;
+use flexile_lp::{LpError, RhsBatchMember, SolveScratch};
 use flexile_scenario::ScenarioSet;
 use flexile_traffic::Instance;
 use std::fmt;
@@ -172,6 +172,10 @@ pub(crate) struct PoolCtx<'a> {
     /// Watchdog deadline for the warm fast path (see
     /// [`SubproblemTemplate::solve_with_stats_watchdog`]).
     pub watchdog: Option<Duration>,
+    /// Maximum scenarios dispatched as one shared-factorization batch unit
+    /// (see [`crate::FlexileOptions::batch_width`]); `0`/`1` disables
+    /// batching.
+    pub batch_width: usize,
 }
 
 impl PoolCtx<'_> {
@@ -243,6 +247,12 @@ enum JobWork {
 struct Job {
     todo: Vec<usize>,
     work: JobWork,
+    /// Dispatch units: each entry lists indices into `todo` claimed and
+    /// solved together. Singletons go through the scalar path; longer
+    /// units through the shared-factorization batch kernel. Planned by
+    /// [`PoolHandle::plan_units`] before the epoch starts, so unit shapes
+    /// never depend on worker timing.
+    units: Vec<Vec<usize>>,
     cursor: AtomicUsize,
     /// Decomposition iteration (1-based) for kill-point checks; 0 for
     /// replay epochs, which never fire kill-points.
@@ -278,10 +288,12 @@ fn solve_contained(
     q: usize,
     col: &[bool],
     worker: usize,
+    scratch: &mut SolveScratch,
 ) -> Result<(SubproblemSolution, SolveStats), PoolError> {
     let mut attempts = 0u32;
     loop {
         attempts += 1;
+        let scratch = &mut *scratch;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut slot = lock_recover(&slots[q]);
             let slot = &mut *slot;
@@ -291,8 +303,13 @@ fn solve_contained(
                 crate::killpoints::maybe_fire_worker(it, q);
             }
             let _sq = flexile_obs::span("flexile.subproblem", "flexile").field("scenario", q);
-            let res =
-                tmpl.solve_with_stats_watchdog(ctx.inst, &ctx.set.scenarios[q], col, ctx.watchdog);
+            let res = tmpl.solve_with_stats_scratch(
+                ctx.inst,
+                &ctx.set.scenarios[q],
+                col,
+                ctx.watchdog,
+                scratch,
+            );
             if let Ok((_, stats)) = &res {
                 // Maintain the replayable chain: a cold (re)build or a
                 // watchdog cold-restart starts a fresh chain; every
@@ -332,6 +349,124 @@ fn solve_contained(
     }
 }
 
+/// Solve one multi-member batch unit through the shared-factorization
+/// kernel ([`flexile_lp::solve_rhs_batch`]), committing each member on its
+/// own template so the resulting state — warm bases, histories, cuts,
+/// stats, counters — is bit-identical to running the members through the
+/// scalar path in the same order.
+///
+/// The whole unit runs under one `catch_unwind`. A panic cannot be
+/// attributed to a member (and may have left any locked template
+/// half-updated), so containment quarantines *every* member and re-runs
+/// each through [`solve_contained`], which rebuilds them cold with the
+/// usual bounded retries. Kill-point-armed scenarios never reach this path
+/// (planning routes them as singletons), so chaos runs exercise the exact
+/// scalar containment they always did.
+#[allow(clippy::too_many_arguments)]
+fn solve_batch_contained(
+    slots: &[Mutex<Slot>],
+    ctx: &PoolCtx<'_>,
+    it: usize,
+    unit: &[usize],
+    todo: &[usize],
+    cols: &[Vec<bool>],
+    worker: usize,
+    scratch: &mut SolveScratch,
+    out: &mut Vec<ScenResult>,
+) {
+    let qs: Vec<usize> = unit.iter().map(|&i| todo[i]).collect();
+    let scratch_ref = &mut *scratch;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Members are ascending (planning preserves `todo` order), so
+        // locking in unit order cannot deadlock; each scenario belongs to
+        // exactly one unit per epoch, so there is no contention either.
+        let mut guards: Vec<MutexGuard<'_, Slot>> =
+            qs.iter().map(|&q| lock_recover(&slots[q])).collect();
+        // Planning checked residency + warm basis at epoch start and no
+        // other unit touches these slots; a miss here means the plan went
+        // stale (should not happen) — downgrade the unit to scalar solves.
+        if guards
+            .iter()
+            .any(|g| g.tmpl.as_ref().is_none_or(|t| t.warm_basis_fingerprint().is_none()))
+        {
+            return None;
+        }
+        if it > 0 {
+            for &q in &qs {
+                crate::killpoints::maybe_fire_worker(it, q);
+            }
+        }
+        flexile_obs::add("flexile.batch_dispatch", 1);
+        let _sq =
+            flexile_obs::span("flexile.subproblem_batch", "flexile").field("members", qs.len());
+        // Install each member's RHS on its *own* template (so fallbacks see
+        // exactly the scalar state) and snapshot RHS vectors + warm bases
+        // for the shared solve.
+        let k = qs.len();
+        let (mut rhss, mut caps, mut warms) =
+            (Vec::with_capacity(k), Vec::with_capacity(k), Vec::with_capacity(k));
+        for (j, &i) in unit.iter().enumerate() {
+            let tmpl = guards[j].tmpl.as_mut().expect("checked above");
+            let (rhs, cap) = tmpl.batch_rhs(ctx.inst, &ctx.set.scenarios[qs[j]], &cols[i]);
+            warms.push(tmpl.warm_basis().expect("checked above"));
+            rhss.push(rhs);
+            caps.push(cap);
+        }
+        let opts = SubproblemTemplate::warm_simplex_options();
+        let members: Vec<RhsBatchMember<'_>> = rhss
+            .iter()
+            .zip(warms.iter())
+            .map(|(rhs, warm)| RhsBatchMember { rhs, warm })
+            .collect();
+        // Any member's model is bit-equal (identical construction), so the
+        // first member's serves as the execution engine for the unit.
+        let lp_results = {
+            let lead = guards[0].tmpl.as_mut().expect("checked above");
+            lead.model_mut().solve_rhs_batch(&opts, &members, scratch_ref)
+        };
+        let mut res: Vec<ScenResult> = Vec::with_capacity(k);
+        for (j, lp_res) in lp_results.into_iter().enumerate() {
+            let i = unit[j];
+            let slot = &mut *guards[j];
+            let tmpl = slot.tmpl.as_mut().expect("checked above");
+            let r = tmpl.commit_batch_outcome(lp_res, &cols[i], &caps[j]);
+            if r.is_ok() {
+                // Extend the replayable chain exactly as the scalar path
+                // would: the template existed (not rebuilt) and no watchdog
+                // runs here, so this is always a plain append.
+                slot.history.push(cols[i].clone());
+            }
+            res.push((qs[j], r.map_err(PoolError::Solver)));
+        }
+        Some(res)
+    }));
+    match outcome {
+        Ok(Some(res)) => out.extend(res),
+        Ok(None) => {
+            for &i in unit {
+                let q = todo[i];
+                out.push((q, solve_contained(slots, ctx, it, q, &cols[i], worker, scratch)));
+            }
+        }
+        Err(payload) => {
+            flexile_obs::add("flexile.worker_panic", 1);
+            flexile_obs::flight::dump("worker_panic");
+            drop(payload);
+            for &q in &qs {
+                let mut slot = lock_recover(&slots[q]);
+                slot.tmpl = None;
+                slot.history.clear();
+            }
+            flexile_obs::add("flexile.scenario_quarantined", qs.len() as u64);
+            flexile_obs::flight::dump("scenario_quarantined");
+            for &i in unit {
+                let q = todo[i];
+                out.push((q, solve_contained(slots, ctx, it, q, &cols[i], worker, scratch)));
+            }
+        }
+    }
+}
+
 fn worker_loop(
     shared: &Shared,
     slots: &[Mutex<Slot>],
@@ -340,6 +475,10 @@ fn worker_loop(
     nworkers: usize,
 ) {
     let mut my_epoch = 0u64;
+    // One scratch pool per worker: every solve this worker performs —
+    // scalar, batch, replay, or containment retry — reuses the same simplex
+    // work vectors (cleared and re-zeroed per solve, so bit-transparent).
+    let mut scratch = SolveScratch::new();
     loop {
         let job = {
             let mut g = lock_recover(&shared.ctl);
@@ -360,25 +499,49 @@ fn worker_loop(
             }
         };
         loop {
-            let i = job.cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= job.todo.len() {
+            let u = job.cursor.fetch_add(1, Ordering::Relaxed);
+            if u >= job.units.len() {
                 break;
             }
-            if i % nworkers != id {
+            if u % nworkers != id {
                 flexile_obs::add("flexile.steal", 1);
             }
-            let q = job.todo[i];
+            let unit = &job.units[u];
             let t0 = Instant::now();
-            let res = match &job.work {
-                JobWork::Solve(cols) => solve_contained(slots, ctx, job.it, q, &cols[i], id),
+            let mut unit_results: Vec<ScenResult> = Vec::with_capacity(unit.len());
+            match &job.work {
+                JobWork::Solve(cols) => {
+                    if unit.len() >= 2 {
+                        solve_batch_contained(
+                            slots,
+                            ctx,
+                            job.it,
+                            unit,
+                            &job.todo,
+                            cols,
+                            id,
+                            &mut scratch,
+                            &mut unit_results,
+                        );
+                    } else {
+                        let i = unit[0];
+                        let q = job.todo[i];
+                        unit_results.push((
+                            q,
+                            solve_contained(slots, ctx, job.it, q, &cols[i], id, &mut scratch),
+                        ));
+                    }
+                }
                 JobWork::Replay(chains) => {
                     // Replay the whole chain; only the last result matters
                     // (and even it is discarded by restore). A failure
                     // mid-chain quarantines the slot: the continuation
                     // simply solves that scenario cold.
+                    let i = unit[0];
+                    let q = job.todo[i];
                     let mut last = Err(PoolError::Solver(LpError::IterationLimit));
                     for col in &chains[i] {
-                        last = solve_contained(slots, ctx, 0, q, col, id);
+                        last = solve_contained(slots, ctx, 0, q, col, id, &mut scratch);
                         if last.is_err() {
                             let mut slot = lock_recover(&slots[q]);
                             slot.tmpl = None;
@@ -386,14 +549,15 @@ fn worker_loop(
                             break;
                         }
                     }
-                    last
+                    unit_results.push((q, last));
                 }
-            };
+            }
             let busy = t0.elapsed().as_micros() as u64;
             let mut g = lock_recover(&shared.ctl);
             g.worker_busy[id] += busy;
-            g.results.push((q, res));
-            g.remaining -= 1;
+            let done = unit_results.len();
+            g.results.append(&mut unit_results);
+            g.remaining -= done;
             if g.remaining == 0 {
                 shared.done_cv.notify_all();
             }
@@ -405,6 +569,7 @@ fn worker_loop(
 struct PoolHandle<'a> {
     shared: &'a Shared,
     slots: &'a [Mutex<Slot>],
+    ctx: &'a PoolCtx<'a>,
     residency: usize,
     /// Last iteration each scenario's template was used (0 = never/evicted).
     stamp: Vec<u64>,
@@ -412,14 +577,71 @@ struct PoolHandle<'a> {
 }
 
 impl PoolHandle<'_> {
+    /// Partition an epoch's scenarios into dispatch units: runs of
+    /// consecutive batch-eligible scenarios sharing a demand factor,
+    /// chunked to the batch width, everything else as singletons. Planned
+    /// on the main thread while the workers are parked, from slot state
+    /// that is itself deterministic, so unit shapes — and therefore every
+    /// solve and counter the batches produce — are identical across thread
+    /// counts and runs.
+    ///
+    /// A scenario is batch-eligible when its template is resident with a
+    /// warm basis (a cold member gains nothing from a shared factorization
+    /// — the escalation ladder builds it one rung at a time), no γ bounds
+    /// or watchdog are in play (per-scenario variable bounds break the
+    /// shared-LHS invariant; wall-clock deadlines are inherently scalar),
+    /// and no kill-point is armed for it (a chaos fault must quarantine
+    /// exactly the scenario it targets, not an arbitrary batch).
+    fn plan_units(&self, it: usize, todo: &[usize]) -> Vec<Vec<usize>> {
+        let width = self.ctx.batch_width;
+        if width < 2 || self.ctx.watchdog.is_some() || self.ctx.loss_ub.is_some() {
+            return (0..todo.len()).map(|i| vec![i]).collect();
+        }
+        let mut units: Vec<Vec<usize>> = Vec::new();
+        let mut group: Vec<usize> = Vec::new();
+        let mut group_factor = 0.0f64;
+        for (i, &q) in todo.iter().enumerate() {
+            let eligible = {
+                let slot = lock_recover(&self.slots[q]);
+                slot.tmpl.as_ref().is_some_and(|t| t.warm_basis_fingerprint().is_some())
+            } && !crate::killpoints::armed_worker(it, q);
+            if !eligible {
+                if !group.is_empty() {
+                    units.push(std::mem::take(&mut group));
+                }
+                units.push(vec![i]);
+                continue;
+            }
+            let factor = self.ctx.set.scenarios[q].demand_factor;
+            if !group.is_empty() && (factor - group_factor).abs() >= 1e-12 {
+                units.push(std::mem::take(&mut group));
+            }
+            group_factor = factor;
+            group.push(i);
+            if group.len() == width {
+                units.push(std::mem::take(&mut group));
+            }
+        }
+        if !group.is_empty() {
+            units.push(group);
+        }
+        units
+    }
+
     /// Dispatch one epoch to the workers and wait for every result.
-    fn run_epoch(&mut self, todo: Vec<usize>, work: JobWork, it: usize) -> Vec<ScenResult> {
+    fn run_epoch(
+        &mut self,
+        todo: Vec<usize>,
+        work: JobWork,
+        units: Vec<Vec<usize>>,
+        it: usize,
+    ) -> Vec<ScenResult> {
         let n = todo.len();
         let observe_wait = matches!(work, JobWork::Solve(_));
         let wall0 = Instant::now();
         {
             let mut g = lock_recover(&self.shared.ctl);
-            g.job = Some(Arc::new(Job { todo, work, cursor: AtomicUsize::new(0), it }));
+            g.job = Some(Arc::new(Job { todo, work, units, cursor: AtomicUsize::new(0), it }));
             g.epoch += 1;
             g.remaining = n;
             g.results = Vec::with_capacity(n);
@@ -480,7 +702,13 @@ impl IterationSolver for PoolHandle<'_> {
         if todo.is_empty() {
             return Vec::new();
         }
-        let results = self.run_epoch(todo.to_vec(), JobWork::Solve(cols), it);
+        let units = self.plan_units(it, todo);
+        if flexile_obs::enabled() {
+            for unit in units.iter().filter(|u| u.len() >= 2) {
+                flexile_obs::observe("flexile.batch_unit_width", unit.len() as f64);
+            }
+        }
+        let results = self.run_epoch(todo.to_vec(), JobWork::Solve(cols), units, it);
         for &q in todo {
             self.stamp[q] = self.it;
         }
@@ -514,7 +742,10 @@ impl IterationSolver for PoolHandle<'_> {
         }
         let _sp = flexile_obs::span("flexile.rewarm", "flexile").field("scenarios", todo.len());
         let chains: Vec<Vec<Vec<bool>>> = todo.iter().map(|&q| snap.chains[q].clone()).collect();
-        let results = self.run_epoch(todo, JobWork::Replay(chains), 0);
+        // Replay chains are strictly sequential per scenario: always
+        // singleton units.
+        let units: Vec<Vec<usize>> = (0..todo.len()).map(|i| vec![i]).collect();
+        let results = self.run_epoch(todo, JobWork::Replay(chains), units, 0);
         let ok = results.iter().filter(|(_, r)| r.is_ok()).count();
         flexile_obs::add("flexile.rewarm", ok as u64);
         // Replay results are discarded: the checkpointed caches remain the
@@ -564,6 +795,7 @@ pub(crate) fn with_pool<R>(
         let mut handle = PoolHandle {
             shared: &shared,
             slots: &slots,
+            ctx: &ctx,
             residency,
             stamp: vec![0; nq],
             it: 0,
@@ -612,10 +844,12 @@ impl IterationSolver for LegacyStriped<'_> {
                     let results = &results;
                     s.spawn(move || {
                         let mut tmpl: Option<SubproblemTemplate> = None;
+                        let mut scratch = SolveScratch::new();
                         let mut i = t;
                         while i < todo.len() {
                             let q = todo[i];
                             let scen = &ctx.set.scenarios[q];
+                            let scratch = &mut scratch;
                             let outcome = catch_unwind(AssertUnwindSafe(|| {
                                 crate::killpoints::maybe_fire_worker(it, q);
                                 let _sq = flexile_obs::span("flexile.subproblem", "flexile")
@@ -627,11 +861,12 @@ impl IterationSolver for LegacyStriped<'_> {
                                             Some(ub[q].clone()),
                                             scen.demand_factor,
                                         );
-                                        fresh.solve_with_stats_watchdog(
+                                        fresh.solve_with_stats_scratch(
                                             ctx.inst,
                                             scen,
                                             &cols[i],
                                             ctx.watchdog,
+                                            scratch,
                                         )
                                     }
                                     None => {
@@ -647,11 +882,12 @@ impl IterationSolver for LegacyStriped<'_> {
                                         }
                                         tmpl.as_mut()
                                             .expect("template built")
-                                            .solve_with_stats_watchdog(
+                                            .solve_with_stats_scratch(
                                                 ctx.inst,
                                                 scen,
                                                 &cols[i],
                                                 ctx.watchdog,
+                                                scratch,
                                             )
                                     }
                                 }

@@ -28,8 +28,8 @@
 //! shared-dual-space cross cut (22).
 
 use flexile_lp::{
-    solve_robust, Basis, LpError, Model, RestartKind, RobustOptions, RowId, Sense, SolveBudget,
-    VarId,
+    solve_robust, Basis, LpError, Model, RestartKind, RobustOptions, RowId, Sense, Solution,
+    SolveBudget, SolveScratch, VarId,
 };
 use flexile_scenario::Scenario;
 use flexile_traffic::Instance;
@@ -246,6 +246,43 @@ impl SubproblemTemplate {
         z: &[bool],
         watchdog: Option<std::time::Duration>,
     ) -> Result<(SubproblemSolution, SolveStats), LpError> {
+        let mut scratch = SolveScratch::new();
+        self.solve_with_stats_scratch(inst, scen, z, watchdog, &mut scratch)
+    }
+
+    /// [`Self::solve_with_stats_watchdog`] with caller-owned solver scratch.
+    ///
+    /// The pool threads one [`SolveScratch`] through every solve a worker
+    /// performs, so the per-iteration simplex work vectors are allocated
+    /// once per worker instead of once per scenario solve. Scratch reuse is
+    /// bit-transparent: a recycled buffer is cleared and re-zeroed to the
+    /// exact length a fresh allocation would have.
+    pub fn solve_with_stats_scratch(
+        &mut self,
+        inst: &Instance,
+        scen: &Scenario,
+        z: &[bool],
+        watchdog: Option<std::time::Duration>,
+        scratch: &mut SolveScratch,
+    ) -> Result<(SubproblemSolution, SolveStats), LpError> {
+        self.check_scenario(scen, z);
+        let cap_arc = self.install_rhs(inst, scen, z);
+        let rb = Self::robust_opts();
+        // Warm fast path: the explicit dual RHS-restart, optionally under
+        // the watchdog deadline (the cold ladder below runs deadline-free —
+        // its Bland rung terminates provably).
+        let first = self.warm.as_ref().map(|warm| {
+            let warm_budget = match watchdog {
+                Some(w) => rb.budget.and_timeout(w),
+                None => rb.budget,
+            };
+            self.model.solve_rhs_restart_with(&warm_budget.simplex_options(), warm, scratch)
+        });
+        let (sol, stats) = self.resolve_outcome(first, watchdog, &rb)?;
+        Ok(self.commit(sol, stats, z, &cap_arc))
+    }
+
+    fn check_scenario(&self, scen: &Scenario, z: &[bool]) {
         assert_eq!(z.len(), self.num_flows);
         assert!(
             (scen.demand_factor - self.demand_factor).abs() < 1e-12,
@@ -253,6 +290,12 @@ impl SubproblemTemplate {
             scen.demand_factor,
             self.demand_factor
         );
+    }
+
+    /// Install `scen`/`z` into the template's RHS (criticality flips and
+    /// capacity scaling — the only things that change per scenario) and
+    /// return the scaled per-arc capacities for cut extraction.
+    fn install_rhs(&mut self, inst: &Instance, scen: &Scenario, z: &[bool]) -> Vec<f64> {
         for (f, &r) in self.crit_rows.iter().enumerate() {
             self.model.set_rhs(r, if z[f] { 0.0 } else { -1.0 });
         }
@@ -262,70 +305,90 @@ impl SubproblemTemplate {
             cap_arc[a] = cap;
             self.model.set_rhs(r, cap);
         }
-        // Robust ladder with a generous iteration budget: warm fast path
-        // first, then the cold / safe-mode / perturbation rungs. Presolve
-        // stays off: the Benders cuts are built from this solve's dual
-        // vector, and the cut stream must be bit-identical regardless of
-        // which presolve reductions would have fired (warm-started solves
-        // skip presolve anyway, so this only pins down the cold rungs).
-        let rb = RobustOptions {
+        cap_arc
+    }
+
+    /// Robust ladder with a generous iteration budget: warm fast path
+    /// first, then the cold / safe-mode / perturbation rungs. Presolve
+    /// stays off: the Benders cuts are built from this solve's dual
+    /// vector, and the cut stream must be bit-identical regardless of
+    /// which presolve reductions would have fired (warm-started solves
+    /// skip presolve anyway, so this only pins down the cold rungs).
+    fn robust_opts() -> RobustOptions {
+        RobustOptions {
             budget: SolveBudget::with_max_iters(2_000_000),
             presolve: false,
             ..Default::default()
-        };
-        let (sol, stats) = match self.warm.as_ref() {
-            Some(warm) => {
-                // Watchdog: bound only the warm restart by wall clock. The
-                // cold ladder below runs deadline-free (its Bland rung
-                // terminates provably).
-                let warm_budget = match watchdog {
-                    Some(w) => rb.budget.and_timeout(w),
-                    None => rb.budget,
-                };
-                match self.model.solve_rhs_restart(&warm_budget.simplex_options(), warm) {
-                    Ok((sol, kind)) => {
-                        let stats = SolveStats {
-                            warm_hit: kind != RestartKind::Cold,
-                            dual_restart: kind == RestartKind::DualRestart,
-                            iterations: sol.iterations,
-                            watchdog_restart: false,
-                        };
-                        (sol, stats)
-                    }
-                    // Retryable failures escalate through the full ladder
-                    // (which retries the warm basis first, then colder modes).
-                    Err(LpError::Numerical(_) | LpError::IterationLimit) => {
-                        let out = solve_robust(&self.model, &rb, self.warm.as_ref());
-                        let iterations = out.report.total_iterations();
-                        (out.result?, SolveStats { iterations, ..Default::default() })
-                    }
-                    // The armed watchdog fired: the warm basis is presumed
-                    // pathological. Quarantine it and cold-restart through
-                    // the ladder.
-                    Err(LpError::DeadlineExceeded) if watchdog.is_some() => {
-                        self.warm = None;
-                        flexile_obs::add("flexile.watchdog_restart", 1);
-                        flexile_obs::flight::dump("watchdog_restart");
-                        let out = solve_robust(&self.model, &rb, None);
-                        let iterations = out.report.total_iterations();
-                        (
-                            out.result?,
-                            SolveStats { iterations, watchdog_restart: true, ..Default::default() },
-                        )
-                    }
-                    // Verdicts about the model (infeasible, unbounded) and
-                    // deadline exhaustion are terminal.
-                    Err(e) => return Err(e),
-                }
-            }
-            None => {
-                let out = solve_robust(&self.model, &rb, None);
-                let iterations = out.report.total_iterations();
-                (out.result?, SolveStats { iterations, ..Default::default() })
-            }
-        };
-        self.warm = Some(sol.basis.clone());
+        }
+    }
 
+    /// Continue a warm fast-path outcome (`Some`) or a cold start (`None`)
+    /// through the escalation ladder. This is the single authority on the
+    /// retry taxonomy — the scalar path and every batch member's
+    /// commit/fallback go through it, which is what keeps the batched pool
+    /// bit- and counter-identical to the scalar one.
+    fn resolve_outcome(
+        &mut self,
+        first: Option<Result<(Solution, RestartKind), LpError>>,
+        watchdog: Option<std::time::Duration>,
+        rb: &RobustOptions,
+    ) -> Result<(Solution, SolveStats), LpError> {
+        match first {
+            Some(Ok((sol, kind))) => {
+                let stats = SolveStats {
+                    warm_hit: kind != RestartKind::Cold,
+                    dual_restart: kind == RestartKind::DualRestart,
+                    iterations: sol.iterations,
+                    watchdog_restart: false,
+                };
+                Ok((sol, stats))
+            }
+            // Retryable failures escalate through the full ladder
+            // (which retries the warm basis first, then colder modes).
+            Some(Err(LpError::Numerical(_) | LpError::IterationLimit)) => {
+                let out = solve_robust(&self.model, rb, self.warm.as_ref());
+                let iterations = out.report.total_iterations();
+                Ok((out.result?, SolveStats { iterations, ..Default::default() }))
+            }
+            // The armed watchdog fired: the warm basis is presumed
+            // pathological. Quarantine it and cold-restart through
+            // the ladder.
+            Some(Err(LpError::DeadlineExceeded)) if watchdog.is_some() => {
+                self.warm = None;
+                flexile_obs::add("flexile.watchdog_restart", 1);
+                flexile_obs::flight::dump("watchdog_restart");
+                let out = solve_robust(&self.model, rb, None);
+                let iterations = out.report.total_iterations();
+                Ok((
+                    out.result?,
+                    SolveStats { iterations, watchdog_restart: true, ..Default::default() },
+                ))
+            }
+            // Verdicts about the model (infeasible, unbounded) and
+            // deadline exhaustion are terminal.
+            Some(Err(e)) => Err(e),
+            None => {
+                let out = solve_robust(&self.model, rb, None);
+                let iterations = out.report.total_iterations();
+                Ok((out.result?, SolveStats { iterations, ..Default::default() }))
+            }
+        }
+    }
+
+    /// Save the warm basis and extract the cut — the tail every successful
+    /// solve (scalar or batch member) runs.
+    fn commit(
+        &mut self,
+        sol: Solution,
+        stats: SolveStats,
+        z: &[bool],
+        cap_arc: &[f64],
+    ) -> (SubproblemSolution, SolveStats) {
+        self.warm = Some(sol.basis.clone());
+        (self.extract(&sol, z, cap_arc), stats)
+    }
+
+    fn extract(&self, sol: &Solution, z: &[bool], cap_arc: &[f64]) -> SubproblemSolution {
         let alpha: Vec<f64> = self.alpha_vars.iter().map(|&v| sol.value(v)).collect();
         let loss: Vec<f64> = self.l_vars.iter().map(|&v| sol.value(v)).collect();
         // Cut extraction.
@@ -346,15 +409,67 @@ impl SubproblemTemplate {
         for (a, &ua) in u.iter().enumerate() {
             d_const -= ua * cap_arc[a];
         }
-        Ok((
-            SubproblemSolution {
-                value: sol.objective,
-                alpha,
-                loss,
-                cut: Cut { w, u, d_const },
-            },
-            stats,
-        ))
+        SubproblemSolution {
+            value: sol.objective,
+            alpha,
+            loss,
+            cut: Cut { w, u, d_const },
+        }
+    }
+
+    /// Prepare this template as a batch member: install the scenario's RHS
+    /// into the template's **own** model — so a divergence fallback or
+    /// ladder rung sees exactly the state the scalar path would — and
+    /// return the full RHS vector (handed to
+    /// [`flexile_lp::solve_rhs_batch`]) plus the scaled per-arc capacities
+    /// for cut extraction at commit time.
+    pub(crate) fn batch_rhs(
+        &mut self,
+        inst: &Instance,
+        scen: &Scenario,
+        z: &[bool],
+    ) -> (Vec<f64>, Vec<f64>) {
+        self.check_scenario(scen, z);
+        let cap_arc = self.install_rhs(inst, scen, z);
+        (self.model.rhs_values().to_vec(), cap_arc)
+    }
+
+    /// The saved warm basis, cloned. Batch dispatch snapshots member warms
+    /// up front so the shared solve borrows no template.
+    pub(crate) fn warm_basis(&self) -> Option<Basis> {
+        self.warm.clone()
+    }
+
+    /// The simplex options of the (watchdog-free) warm fast path. The
+    /// batch kernel must run under exactly the options the scalar restart
+    /// would, or the solves stop being comparable bit-for-bit.
+    pub(crate) fn warm_simplex_options() -> flexile_lp::SimplexOptions {
+        Self::robust_opts().budget.simplex_options()
+    }
+
+    /// The template's model, used as the shared execution engine when this
+    /// template leads a batch. Templates of a batch are built by identical
+    /// code on identical inputs, so any member's model produces bit-equal
+    /// factorizations; the batch entry restores the model's RHS on return.
+    pub(crate) fn model_mut(&mut self) -> &mut Model {
+        &mut self.model
+    }
+
+    /// Commit one member's outcome from a shared batch solve, reproducing
+    /// the scalar path bit-for-bit: an `Ok` lands exactly like a scalar
+    /// warm hit, an error continues through the same escalation ladder on
+    /// this member's own model (whose RHS [`Self::batch_rhs`] installed).
+    /// Batch dispatch requires the watchdog disabled, so no watchdog arm
+    /// applies here.
+    pub(crate) fn commit_batch_outcome(
+        &mut self,
+        outcome: Result<(Solution, RestartKind), LpError>,
+        z: &[bool],
+        cap_arc: &[f64],
+    ) -> Result<(SubproblemSolution, SolveStats), LpError> {
+        let rb = Self::robust_opts();
+        let (sol, stats) = self.resolve_outcome(Some(outcome), None, &rb)?;
+        Ok(self.commit(sol, stats, z, cap_arc))
     }
 
     /// The per-flow loss upper bounds in effect (γ variant).

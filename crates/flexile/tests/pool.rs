@@ -263,6 +263,59 @@ fn pool_emits_warm_restart_counters() {
 }
 
 #[test]
+fn batched_pool_bit_identical_to_scalar() {
+    // The tentpole invariant of the batched dispatch: any batch width —
+    // including 0/1, i.e. the scalar pool — and any thread count produce
+    // the same design, bit for bit. Widths beyond the scenario count are
+    // clamped by grouping, so 16 also covers the "one unit per epoch" case.
+    let _g = exclusive();
+    for (name, (inst, set)) in [("fig1", fig1_setup()), ("sprint", sprint_setup())] {
+        let mut reference = None;
+        for threads in [1usize, 8] {
+            for batch_width in [0usize, 1, 4, 16] {
+                let opts =
+                    FlexileOptions { threads, batch_width, max_iterations: 3, ..Default::default() };
+                let d = design_bits(&solve_flexile(&inst, &set, &opts));
+                match &reference {
+                    None => reference = Some(d),
+                    Some(r) => assert_eq!(
+                        r, &d,
+                        "{name}: diverged at threads={threads} batch_width={batch_width}"
+                    ),
+                }
+            }
+        }
+        // The batched runs must actually exercise the batch kernel, and the
+        // batch counters must be thread-count independent (they are gated by
+        // the deterministic perf harness).
+        let mut counters = None;
+        for threads in [1usize, 8] {
+            flexile_obs::enable();
+            let opts =
+                FlexileOptions { threads, batch_width: 16, max_iterations: 3, ..Default::default() };
+            let _ = solve_flexile(&inst, &set, &opts);
+            flexile_obs::disable();
+            let t = flexile_obs::drain();
+            let counter = |n: &str| t.counters.get(n).copied().unwrap_or(0);
+            let c = (
+                counter("flexile.batch_dispatch"),
+                counter("lp.batch_solves"),
+                counter("lp.batch_divergences"),
+            );
+            assert!(c.0 > 0, "{name}: batch dispatch never fired at threads={threads}");
+            assert!(c.1 > 0, "{name}: lp batch kernel never invoked at threads={threads}");
+            match &counters {
+                None => counters = Some(c),
+                Some(r) => assert_eq!(
+                    r, &c,
+                    "{name}: batch counters diverged across thread counts"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
 fn legacy_and_cold_policies_still_solve() {
     let (inst, set) = fig1_setup();
     for pool in [PoolPolicy::LegacyStriped, PoolPolicy::Cold] {

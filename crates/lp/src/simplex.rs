@@ -43,7 +43,7 @@
 use crate::basis::{make_engine, BasisEngine, EngineKind};
 use crate::error::LpError;
 use crate::model::{Cmp, Model, Sense};
-use crate::sparse::SparseCol;
+use crate::sparse::{RhsBlock, SparseCol};
 
 /// Feasibility tolerance on variable bounds.
 const FEAS_TOL: f64 = 1e-7;
@@ -71,17 +71,42 @@ pub enum SolveStatus {
 /// Pricing rule used by the primal phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Pricing {
-    /// Devex reference-framework pricing (the default): candidate scores are
+    /// Pick the rule per solve (the default): Dantzig for *cold* solves of
+    /// models dominated by a dense column (the MLU / max-concurrent-flow
+    /// shape, where devex's reference weights chase the dense column's large
+    /// steepest-edge norms and pay ~7% extra pivots — the PR 8 regression),
+    /// devex everywhere else. Warm-started solves always use devex: their
+    /// phase-2 runs are short and devex's weight framework wins there.
+    #[default]
+    Auto,
+    /// Devex reference-framework pricing: candidate scores are
     /// `d_j² / w_j` with reference weights updated after every pivot, which
     /// approximates steepest edge at a fraction of its cost and typically
     /// needs far fewer pivots than a plain most-negative-cost rule.
-    #[default]
     Devex,
     /// Classic Dantzig pricing (most negative reduced cost). Retained as the
     /// fallback rule for the numerical-retry path of [`solve`] and the
     /// cold-refactor rung of [`crate::solve_robust`]; Bland's rule remains
     /// the final anti-cycling fallback behind both.
     Dantzig,
+}
+
+/// Resolve [`Pricing::Auto`] against the model shape. Must be called before
+/// a [`PhaseCtl`] is built — the phase loops compare against concrete rules.
+fn resolve_pricing(p: Pricing, model: &Model, warm: bool) -> Pricing {
+    match p {
+        Pricing::Auto => {
+            let m = model.num_rows();
+            let densest =
+                (0..model.num_vars()).map(|j| model.cols.col(j).nnz()).max().unwrap_or(0);
+            if !warm && m >= 32 && densest >= (m / 8).max(24) {
+                Pricing::Dantzig
+            } else {
+                Pricing::Devex
+            }
+        }
+        other => other,
+    }
 }
 
 /// Options controlling a simplex run.
@@ -229,6 +254,51 @@ impl Solution {
     }
 }
 
+/// Reusable pool of dense `f64` work vectors shared across solves.
+///
+/// Every simplex phase needs a handful of `m`-length scratch vectors (BTRAN
+/// duals, FTRAN columns, cost gathers, devex weights). Allocating them per
+/// solve is invisible for one cold solve but measurable in the decomposition
+/// pool, where each worker performs thousands of warm restarts whose entire
+/// pivot count is often zero. A `SolveScratch` owns the buffers across
+/// solves: `grab` pops a vector and resets it to all zeros — bit-identical
+/// to a fresh `vec![0.0; len]` — and `put` returns it.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    pool: Vec<Vec<f64>>,
+}
+
+impl SolveScratch {
+    /// Empty pool; buffers are created on first use and recycled after.
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+
+    /// Pop a buffer and reset it to `len` zeros (identical to
+    /// `vec![0.0; len]`, so pooling can never perturb solver output).
+    fn grab(&mut self, len: usize) -> Vec<f64> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Return a buffer to the pool for reuse by a later solve.
+    fn put(&mut self, v: Vec<f64>) {
+        self.pool.push(v);
+    }
+}
+
+/// One member of a multi-RHS batch solve: the full RHS vector it wants
+/// installed and the warm basis to restart from. See [`solve_rhs_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct RhsBatchMember<'a> {
+    /// Full replacement RHS (`model.num_rows()` entries).
+    pub rhs: &'a [f64],
+    /// Warm basis saved from this member's previous solve.
+    pub warm: &'a Basis,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum VarStatus {
     Basic,
@@ -322,10 +392,17 @@ impl<'a> Work<'a> {
 
     /// Fill [`Work::rhs_scratch`] with the reduced RHS `b - A_N x_N`.
     fn reduced_rhs(&mut self) {
+        let model = self.model;
+        self.reduced_rhs_with(&model.rhs);
+    }
+
+    /// Reduced RHS against a caller-supplied `b` (the batch path reduces
+    /// each member's RHS through one shared nonbasic assignment).
+    fn reduced_rhs_with(&mut self, rhs_in: &[f64]) {
         // Take the buffer out so `for_col` can borrow `self` immutably.
         let mut r = std::mem::take(&mut self.rhs_scratch);
         r.clear();
-        r.extend_from_slice(&self.model.rhs);
+        r.extend_from_slice(rhs_in);
         for j in 0..self.ncols() {
             if self.status[j] == VarStatus::Basic {
                 continue;
@@ -347,6 +424,14 @@ impl<'a> Work<'a> {
 
     /// Refactorize the basis representation from the current column set.
     fn refactorize(&mut self) -> Result<(), LpError> {
+        self.refactor_basis()?;
+        self.recompute_xb();
+        Ok(())
+    }
+
+    /// Refactorize *without* recomputing the basic values — the batch path
+    /// computes them for a whole RHS block in one FTRAN instead.
+    fn refactor_basis(&mut self) -> Result<(), LpError> {
         flexile_obs::add("lp.refactorizations", 1);
         if self.pivots_since_refactor > 0 {
             flexile_obs::observe("lp.eta_chain_len", self.pivots_since_refactor as f64);
@@ -357,7 +442,6 @@ impl<'a> Work<'a> {
             push_col_entries(model, arts, n, m, basis[pos], out)
         })?;
         self.pivots_since_refactor = 0;
-        self.recompute_xb();
         Ok(())
     }
 
@@ -431,11 +515,12 @@ fn run_phase(
     total_iters: &mut usize,
     refactor_every: usize,
     ctl: PhaseCtl,
+    scratch: &mut SolveScratch,
 ) -> Result<PhaseEnd, LpError> {
     let m = w.m;
-    let mut y = vec![0.0; m];
-    let mut ftran = vec![0.0; m];
-    let mut cb = vec![0.0; m];
+    let mut y = scratch.grab(m);
+    let mut ftran = scratch.grab(m);
+    let mut cb = scratch.grab(m);
     let mut degen_run = 0usize;
     let mut bland = ctl.force_bland;
     let devex = ctl.pricing == Pricing::Devex && !ctl.force_bland;
@@ -455,11 +540,20 @@ fn run_phase(
     // at phase start (all weights 1); it is re-anchored when the weights
     // grow past `DEVEX_RESET`.
     const DEVEX_RESET: f64 = 1e8;
-    let mut weights: Vec<f64> = if devex { vec![1.0; w.ncols()] } else { Vec::new() };
+    let mut weights: Vec<f64> = if devex {
+        let mut v = scratch.grab(w.ncols());
+        v.iter_mut().for_each(|x| *x = 1.0);
+        v
+    } else {
+        Vec::new()
+    };
     let mut wmax = 1.0f64;
-    let mut devex_row: Vec<f64> = if devex { vec![0.0; m] } else { Vec::new() };
+    let mut devex_row: Vec<f64> = if devex { scratch.grab(m) } else { Vec::new() };
 
-    loop {
+    // The pivot loop runs inside a closure so every exit path (optimal,
+    // unbounded, budget, deadline, numerical error) falls through to the
+    // buffer stash below.
+    let result = (|| loop {
         if *iter_budget == 0 {
             return Ok(PhaseEnd::IterLimit);
         }
@@ -708,7 +802,15 @@ fn run_phase(
                 }
             }
         }
+    })();
+    scratch.put(y);
+    scratch.put(ftran);
+    scratch.put(cb);
+    if devex {
+        scratch.put(weights);
+        scratch.put(devex_row);
     }
+    result
 }
 
 /// Outcome of a dual-simplex feasibility restoration.
@@ -736,19 +838,21 @@ fn run_dual_phase(
     total_iters: &mut usize,
     refactor_every: usize,
     ctl: PhaseCtl,
+    scratch: &mut SolveScratch,
 ) -> Result<DualEnd, LpError> {
     let m = w.m;
-    let mut y = vec![0.0; m];
-    let mut cb = vec![0.0; m];
-    let mut row = vec![0.0; m];
-    let mut ftran = vec![0.0; m];
+    let mut y = scratch.grab(m);
+    let mut cb = scratch.grab(m);
+    let mut row = scratch.grab(m);
+    let mut ftran = scratch.grab(m);
     // Long-step ratio-test scratch, hoisted out of the pivot loop.
     let mut bps: Vec<(f64, u32, f64)> = Vec::new(); // (ratio, col, alpha)
     let mut flipped: Vec<usize> = Vec::new();
-    let mut delta = vec![0.0; m];
-    let mut ftd = vec![0.0; m];
+    let mut delta = scratch.grab(m);
+    let mut ftd = scratch.grab(m);
 
-    loop {
+    // Closure so every exit path falls through to the buffer stash.
+    let result = (|| loop {
         if *iter_budget == 0 {
             return Ok(DualEnd::IterLimit);
         }
@@ -911,7 +1015,14 @@ fn run_dual_phase(
         if w.pivots_since_refactor >= refactor_every {
             w.refactorize()?;
         }
-    }
+    })();
+    scratch.put(y);
+    scratch.put(cb);
+    scratch.put(row);
+    scratch.put(ftran);
+    scratch.put(delta);
+    scratch.put(ftd);
+    result
 }
 
 /// Whether the current basis is dual feasible for `cost` (reduced costs
@@ -993,13 +1104,299 @@ pub fn solve_rhs_restart(
     opts: &SimplexOptions,
     warm: &Basis,
 ) -> Result<(Solution, RestartKind), LpError> {
+    let mut scratch = SolveScratch::new();
+    solve_rhs_restart_with(model, opts, warm, &mut scratch)
+}
+
+/// [`solve_rhs_restart`] with caller-owned scratch buffers, so a worker
+/// performing many restarts back to back (the decomposition pool) reuses
+/// its FTRAN/BTRAN work vectors instead of reallocating them per solve.
+pub fn solve_rhs_restart_with(
+    model: &Model,
+    opts: &SimplexOptions,
+    warm: &Basis,
+    scratch: &mut SolveScratch,
+) -> Result<(Solution, RestartKind), LpError> {
     solve_attempt_traced(
         model,
         opts,
         Some(warm),
         opts.refactor_every.unwrap_or(REFACTOR_EVERY),
         true,
+        scratch,
+        true,
     )
+}
+
+/// Solve a block of RHS-only scenario restarts against one shared model.
+///
+/// Semantically this is bit-identical to installing each member's RHS into
+/// `model` and calling [`solve_rhs_restart`] per member, in member order —
+/// same solutions, same fault-injection poll sequence, same warm hit/miss
+/// accounting. What changes is cost: members whose warm bases are
+/// *identical* (the common case when a template's scenarios re-solve after
+/// a master iteration that left their optima unchanged) are verified
+/// through one shared refactorization, one SoA block FTRAN
+/// ([`crate::sparse::RhsBlock`]) and one shared pricing BTRAN, instead of a
+/// refactorization plus three triangular solves per member. Members the
+/// fast path cannot certify — the shared basis prices non-optimal, or a
+/// member's RHS leaves it primal infeasible — fall back to the scalar
+/// restart path individually (counted in `lp.batch_divergences`).
+///
+/// `model.rhs` is restored to its entry state before returning.
+pub fn solve_rhs_batch(
+    model: &mut Model,
+    opts: &SimplexOptions,
+    members: &[RhsBatchMember<'_>],
+    scratch: &mut SolveScratch,
+) -> Vec<Result<(Solution, RestartKind), LpError>> {
+    flexile_obs::add("lp.batch_solves", 1);
+    let refactor_every = opts.refactor_every.unwrap_or(REFACTOR_EVERY);
+    let mut span = flexile_obs::span("lp.solve_batch", "lp")
+        .field("rows", model.num_rows())
+        .field("members", members.len());
+
+    // Bucket members by *identical* warm basis: fingerprint as prefilter,
+    // true equality against the bucket leader as the decider.
+    let mut buckets: Vec<Vec<usize>> = Vec::new();
+    let mut prints: Vec<u64> = Vec::new();
+    for (mi, mem) in members.iter().enumerate() {
+        let fp = mem.warm.fingerprint();
+        let mut placed = false;
+        for (bi, bucket) in buckets.iter_mut().enumerate() {
+            if prints[bi] != fp {
+                continue;
+            }
+            let leader = members[bucket[0]].warm;
+            if leader.basis == mem.warm.basis && leader.status == mem.warm.status {
+                bucket.push(mi);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            buckets.push(vec![mi]);
+            prints.push(fp);
+        }
+    }
+
+    // Joint fast path per bucket (model borrowed immutably throughout).
+    let mut joint: Vec<Option<(Solution, RestartKind)>> =
+        members.iter().map(|_| None).collect();
+    for bucket in &buckets {
+        flexile_obs::observe("lp.batch_width", bucket.len() as f64);
+        if let Some(res) = batch_warm_attempt(model, opts, members, bucket, scratch) {
+            for (lane, r) in res.into_iter().enumerate() {
+                joint[bucket[lane]] = r;
+            }
+        }
+    }
+
+    // Emit in member order. Exactly one fault poll per member — the same
+    // sequence the scalar loop would consume — and uncertified members
+    // re-solve through the scalar restart path with their RHS installed.
+    let entry_rhs = model.rhs.clone();
+    let mut divergences = 0usize;
+    let mut results = Vec::with_capacity(members.len());
+    for (mi, mem) in members.iter().enumerate() {
+        if let Some(kind) = crate::fault::poll() {
+            results.push(Err(kind.to_error()));
+            continue;
+        }
+        if opts.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            results.push(Err(LpError::DeadlineExceeded));
+            continue;
+        }
+        match joint[mi].take() {
+            Some(sr) => {
+                flexile_obs::add("lp.warm.hit", 1);
+                results.push(Ok(sr));
+            }
+            None => {
+                flexile_obs::add("lp.batch_divergences", 1);
+                divergences += 1;
+                model.rhs.clear();
+                model.rhs.extend_from_slice(mem.rhs);
+                results.push(solve_attempt_traced(
+                    model,
+                    opts,
+                    Some(mem.warm),
+                    refactor_every,
+                    true,
+                    scratch,
+                    false,
+                ));
+            }
+        }
+    }
+    model.rhs.clear();
+    model.rhs.extend_from_slice(&entry_rhs);
+    span.set("divergences", divergences);
+    results
+}
+
+/// Try to satisfy every member of one equal-basis bucket through a single
+/// shared factorization. Returns `None` when the whole bucket must take the
+/// scalar path (bad warm shape, bad bounds, singular refactorization, or
+/// the basis prices non-optimal — every case where the scalar path would do
+/// real pivot work). Individual `None` entries mark members whose RHS
+/// leaves the shared basis primal infeasible; they need dual pivots of
+/// their own and fall back one by one.
+fn batch_warm_attempt(
+    model: &Model,
+    opts: &SimplexOptions,
+    members: &[RhsBatchMember<'_>],
+    bucket: &[usize],
+    scratch: &mut SolveScratch,
+) -> Option<Vec<Option<(Solution, RestartKind)>>> {
+    let n = model.num_vars();
+    let m = model.num_rows();
+    let warm = members[bucket[0]].warm;
+    if warm.basis.len() != m
+        || warm.status.len() < n + m
+        || warm.basis.iter().any(|&j| j >= n + m)
+    {
+        return None;
+    }
+    for j in 0..n {
+        if model.lb[j] > model.ub[j] + 1e-12 {
+            return None;
+        }
+    }
+    if bucket.iter().any(|&mi| members[mi].rhs.len() != m) {
+        return None;
+    }
+    let sign = match model.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    let mut lb = Vec::with_capacity(n + m);
+    let mut ub = Vec::with_capacity(n + m);
+    lb.extend_from_slice(&model.lb);
+    ub.extend_from_slice(&model.ub);
+    for i in 0..m {
+        match model.row_cmp[i] {
+            Cmp::Le => {
+                lb.push(0.0);
+                ub.push(f64::INFINITY);
+            }
+            Cmp::Ge => {
+                lb.push(f64::NEG_INFINITY);
+                ub.push(0.0);
+            }
+            Cmp::Eq => {
+                lb.push(0.0);
+                ub.push(0.0);
+            }
+        }
+    }
+    let mut cost2 = vec![0.0; n + m];
+    for j in 0..n {
+        cost2[j] = sign * model.obj[j];
+    }
+    let mut w = Work {
+        model,
+        n,
+        m,
+        arts: Vec::new(),
+        lb,
+        ub,
+        cost2,
+        basis: warm.basis.clone(),
+        status: warm.status[..n + m].to_vec(),
+        engine: make_engine(opts.engine),
+        xb: vec![0.0; m],
+        rhs_scratch: Vec::with_capacity(m),
+        pivots_since_refactor: 0,
+    };
+    // Repair statuses exactly as the scalar warm path does.
+    for j in 0..n + m {
+        if w.status[j] == VarStatus::Basic {
+            continue;
+        }
+        w.status[j] = initial_status(w.lb[j], w.ub[j], w.status[j]);
+    }
+    if w.refactor_basis().is_err() {
+        return None;
+    }
+
+    // One block FTRAN computes every member's basic values.
+    let k = bucket.len();
+    let mut block = RhsBlock::new(m, k);
+    for (lane, &mi) in bucket.iter().enumerate() {
+        w.reduced_rhs_with(members[mi].rhs);
+        block.load_lane(lane, &w.rhs_scratch);
+    }
+    w.engine.ftran_dense_block(&mut block);
+
+    // Shared pricing: reduced costs depend on the basis, bounds and costs —
+    // not the RHS — so one full pricing scan answers "would the scalar
+    // phase 2 pivot at all?" for every member at once. Any attractive
+    // column sends the whole bucket down the scalar path. (The BTRAN here
+    // is bitwise the same one the scalar extraction performs, so `y` is
+    // reused as every member's dual vector.)
+    let mut cb = scratch.grab(m);
+    for (i, &j) in w.basis.iter().enumerate() {
+        cb[i] = w.cost2[j];
+    }
+    let mut y = scratch.grab(m);
+    w.engine.btran(&cb, &mut y);
+    let clean = (0..w.ncols()).all(|j| price_col(&w, &w.cost2, &y, j).is_none());
+    if !clean {
+        scratch.put(cb);
+        scratch.put(y);
+        return None;
+    }
+
+    // Shared pieces of every member's Solution.
+    let mut x_shared = vec![0.0; n];
+    for j in 0..n {
+        if w.status[j] != VarStatus::Basic {
+            x_shared[j] = w.nonbasic_value(j);
+        }
+    }
+    let mut duals = y.clone();
+    if sign < 0.0 {
+        duals.iter_mut().for_each(|v| *v = -*v);
+    }
+    let basis_shared = Basis {
+        basis: w.basis.clone(),
+        status: w.status[..n + m].to_vec(),
+    };
+    let mut out = Vec::with_capacity(k);
+    for lane in 0..k {
+        let mut worst: f64 = 0.0;
+        for (i, &j) in w.basis.iter().enumerate() {
+            let xv = block.get(i, lane);
+            worst = worst.max(w.lb[j] - xv).max(xv - w.ub[j]);
+        }
+        if worst > 1e-6 {
+            // The scalar path would dual-restart this member.
+            out.push(None);
+            continue;
+        }
+        let mut x = x_shared.clone();
+        for (i, &j) in w.basis.iter().enumerate() {
+            if j < n {
+                x[j] = block.get(i, lane);
+            }
+        }
+        let objective = model.eval_objective(&x);
+        out.push(Some((
+            Solution {
+                status: SolveStatus::Optimal,
+                x,
+                objective,
+                duals: duals.clone(),
+                iterations: 1,
+                basis: basis_shared.clone(),
+            },
+            RestartKind::PrimalWarm,
+        )));
+    }
+    scratch.put(cb);
+    scratch.put(y);
+    Some(out)
 }
 
 fn solve_attempt(
@@ -1020,7 +1417,9 @@ fn solve_attempt(
             return Ok(sol);
         }
     }
-    solve_attempt_traced(model, opts, warm, refactor_every, false).map(|(sol, _)| sol)
+    let mut scratch = SolveScratch::new();
+    solve_attempt_traced(model, opts, warm, refactor_every, false, &mut scratch, true)
+        .map(|(sol, _)| sol)
 }
 
 /// Solve an already-presolved model directly, bypassing the presolve hook
@@ -1030,7 +1429,9 @@ pub(crate) fn solve_reduced(
     opts: &SimplexOptions,
     refactor_every: usize,
 ) -> Result<Solution, LpError> {
-    solve_attempt_traced(model, opts, None, refactor_every, false).map(|(sol, _)| sol)
+    let mut scratch = SolveScratch::new();
+    solve_attempt_traced(model, opts, None, refactor_every, false, &mut scratch, true)
+        .map(|(sol, _)| sol)
 }
 
 fn solve_attempt_traced(
@@ -1039,14 +1440,18 @@ fn solve_attempt_traced(
     warm: Option<&Basis>,
     refactor_every: usize,
     rhs_only: bool,
+    scratch: &mut SolveScratch,
+    poll: bool,
 ) -> Result<(Solution, RestartKind), LpError> {
-    if let Some(kind) = crate::fault::poll() {
-        return Err(kind.to_error());
+    if poll {
+        if let Some(kind) = crate::fault::poll() {
+            return Err(kind.to_error());
+        }
     }
     let ctl = PhaseCtl {
         deadline: opts.deadline,
         force_bland: opts.force_bland,
-        pricing: opts.pricing,
+        pricing: resolve_pricing(opts.pricing, model, warm.is_some()),
     };
     if ctl.past_deadline() {
         return Err(LpError::DeadlineExceeded);
@@ -1161,6 +1566,7 @@ fn solve_attempt_traced(
                             &mut total_iters,
                             refactor_every,
                             ctl,
+                            scratch,
                         ) {
                             Ok(DualEnd::Feasible) => {
                                 warm_ok = true;
@@ -1262,7 +1668,8 @@ fn solve_attempt_traced(
                 cost1[j] = 1.0;
             }
             let p1_from = total_iters;
-            match run_phase(&mut w, &cost1, &mut budget, &mut total_iters, refactor_every, ctl)? {
+            match run_phase(&mut w, &cost1, &mut budget, &mut total_iters, refactor_every, ctl, scratch)?
+            {
                 PhaseEnd::Optimal => {}
                 PhaseEnd::Unbounded => {
                     return Err(LpError::Numerical("phase 1 unbounded".into()))
@@ -1292,7 +1699,7 @@ fn solve_attempt_traced(
         c
     };
     let p2_from = total_iters;
-    match run_phase(&mut w, &cost2, &mut budget, &mut total_iters, refactor_every, ctl)? {
+    match run_phase(&mut w, &cost2, &mut budget, &mut total_iters, refactor_every, ctl, scratch)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
         PhaseEnd::IterLimit => return Err(LpError::IterationLimit),
@@ -1328,12 +1735,13 @@ fn solve_attempt_traced(
         }
     }
     // Duals: y = c_B^T B⁻¹ in min form; flip for Max.
-    let mut cb = vec![0.0; m];
+    let mut cb = scratch.grab(m);
     for (i, &j) in w.basis.iter().enumerate() {
         cb[i] = cost2[j];
     }
     let mut y = vec![0.0; m];
     w.engine.btran(&cb, &mut y);
+    scratch.put(cb);
     if sign < 0.0 {
         y.iter_mut().for_each(|v| *v = -*v);
     }
