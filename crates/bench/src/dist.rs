@@ -1,0 +1,228 @@
+//! `dist` — the `repro dist_resilience` experiment: the distributed
+//! coordinator/worker substrate under fault injection.
+//!
+//! Sweeps the fault matrix of DESIGN.md §5.6 over hot Table-2 instances
+//! (Sprint + CWIX, same tuning as `checkpoint`): worker fleet sizes
+//! `{0, 1, 3}` × faults `{none, kill, stall}` plus a combined
+//! `kill+stall` cell at 3 workers (one worker dies at iteration 2 while
+//! another's heartbeat stalls). Every cell must converge to a final
+//! design whose penalty is **bit-identical** to the in-process
+//! [`solve_flexile`] reference — fleet size, worker death, heartbeat
+//! loss, and the zero-worker in-process fallback are all invisible in
+//! the bits. Fault cells additionally assert the degradation counters
+//! fired exactly as armed (deaths, restarts, stalls, fallback), so a
+//! silently-ignored kill-point fails the run rather than vacuously
+//! passing the parity check.
+//!
+//! Workers are the `repro` binary itself re-exec'd as `repro
+//! dist_worker` (see the dispatcher in `bin/repro.rs`), so the bench
+//! exercises the same spawn path CI's process-death smoke uses.
+//!
+//! CSV schema (stdout) — one `ref` row per topology and one `cell` row
+//! per matrix cell:
+//!
+//! ```text
+//! ref,topology,iterations,penalty
+//! cell,topology,workers,fault,iterations,deaths,restarts,stalls,reassigned,fallback,penalty
+//! ```
+//!
+//! Under `repro --obs DIR` the per-cell rows are also embedded as a
+//! `"dist_cells"` array in `BENCH_dist.json` (the artifact keeps the
+//! short name; the experiment keeps the descriptive one).
+
+use crate::{single_class_setup, ExpConfig};
+use flexile_core::{
+    solve_flexile, solve_flexile_dist, to_env, DistOptions, FlexileOptions, KillPoint, WorkerSpec,
+    ANY_SCENARIO,
+};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Hot Table-2 instances (β pinned below max-feasible so the
+/// decomposition iterates and the fleet sees real multi-wave traffic).
+const TOPOLOGIES: [(&str, f64); 2] = [("Sprint", 1.05), ("CWIX", 1.05)];
+
+/// The explicit SLO target.
+const BETA: f64 = 0.99;
+
+/// Scenario cap: enough scenarios that a 3-worker shard is non-trivial,
+/// small enough for a CI smoke run.
+const SCENARIO_CAP: usize = 24;
+
+/// The iteration at which armed faults fire — late enough that cut
+/// pools and warm templates exist, so recovery must actually replay
+/// solve chains rather than start cold.
+const FAULT_ITERATION: usize = 2;
+
+/// Per-cell records for the `BENCH_dist.json` `"dist_cells"` array,
+/// stashed by [`run_dist_resilience`] and drained by `repro`.
+static RECORDS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Drain the JSON records of the most recent [`run_dist_resilience`] call.
+pub fn take_dist_records() -> Vec<String> {
+    std::mem::take(&mut *RECORDS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// One cell of the fault matrix: fleet size plus the chaos armed on it.
+struct Cell {
+    workers: usize,
+    fault: &'static str,
+    /// `(slot, kill-point spec)` pairs armed via the worker environment.
+    chaos: Vec<(usize, String)>,
+}
+
+fn matrix() -> Vec<Cell> {
+    let kill = || to_env(&[KillPoint::ProcExit { iteration: FAULT_ITERATION, scenario: ANY_SCENARIO }]);
+    let stall = || to_env(&[KillPoint::HeartbeatStall { iteration: FAULT_ITERATION }]);
+    vec![
+        // Zero workers: immediate graceful degradation to the in-process
+        // pool — the baseline the fallback path must match bit-for-bit.
+        Cell { workers: 0, fault: "none", chaos: vec![] },
+        Cell { workers: 1, fault: "none", chaos: vec![] },
+        Cell { workers: 1, fault: "kill", chaos: vec![(0, kill())] },
+        Cell { workers: 1, fault: "stall", chaos: vec![(0, stall())] },
+        Cell { workers: 3, fault: "none", chaos: vec![] },
+        Cell { workers: 3, fault: "kill", chaos: vec![(0, kill())] },
+        Cell { workers: 3, fault: "stall", chaos: vec![(0, stall())] },
+        // The CI headline cell: one worker dies while another goes
+        // silent, in the same wave.
+        Cell { workers: 3, fault: "kill+stall", chaos: vec![(0, kill()), (1, stall())] },
+    ]
+}
+
+/// Expected degradation-counter deltas for a cell, derived from its
+/// armed chaos: each armed kill-point fires exactly once.
+fn expected(cell: &Cell) -> (u64, u64, u64, u64) {
+    let stalls = cell.chaos.iter().filter(|(_, s)| s.starts_with("stall")).count() as u64;
+    let deaths = cell.chaos.len() as u64; // stalls are detected as deaths too
+    let restarts = deaths; // default max_restarts tolerates every armed fault
+    let fallback = u64::from(cell.workers == 0);
+    (deaths, restarts, stalls, fallback)
+}
+
+fn hot_setup(
+    name: &str,
+    mlu: f64,
+    cfg: &ExpConfig,
+) -> (flexile_traffic::Instance, flexile_scenario::ScenarioSet) {
+    let sub_cfg = ExpConfig {
+        target_mlu: mlu,
+        max_scenarios: cfg.max_scenarios.min(SCENARIO_CAP),
+        ..cfg.clone()
+    };
+    let (mut inst, set) = single_class_setup(name, &sub_cfg);
+    inst.classes[0].beta = BETA;
+    (inst, set)
+}
+
+fn dist_opts(cell: &Cell) -> DistOptions {
+    let mut d = DistOptions::new(
+        cell.workers,
+        WorkerSpec::CurrentExe { args: vec!["dist_worker".into()] },
+    );
+    // Fast heartbeats keep the stall cells cheap; the deadline stays
+    // generous enough (30 missed beats) for a loaded CI box.
+    d.heartbeat = Duration::from_millis(50);
+    d.deadline = Duration::from_millis(1500);
+    d.chaos = cell.chaos.clone();
+    d
+}
+
+/// Counter delta between two non-destructive telemetry snapshots.
+fn delta(before: &flexile_obs::Telemetry, after: &flexile_obs::Telemetry, name: &str) -> u64 {
+    let b = before.counters.get(name).copied().unwrap_or(0);
+    let a = after.counters.get(name).copied().unwrap_or(0);
+    a.saturating_sub(b)
+}
+
+/// Run the `dist_resilience` fault-matrix experiment. `limit` caps the
+/// number of topologies (in [`TOPOLOGIES`] order, so `--limit 1` is
+/// Sprint-only). Panics on any parity or counter violation — this
+/// experiment is a guard, not a survey.
+pub fn run_dist_resilience(cfg: &ExpConfig, limit: usize) {
+    take_dist_records(); // reset stale records from a prior experiment
+    println!(
+        "section,topology,workers,fault,iterations,deaths,restarts,stalls,reassigned,fallback,penalty"
+    );
+    // Counter asserts need the telemetry sink; `repro --obs` enables it
+    // before we run, a bare `repro dist_resilience` gets it enabled here.
+    let had_obs = flexile_obs::enabled();
+    if !had_obs {
+        flexile_obs::enable();
+    }
+    for &(name, mlu) in TOPOLOGIES.iter().take(limit.max(1)) {
+        let (inst, set) = hot_setup(name, mlu, cfg);
+        let opts = FlexileOptions {
+            threads: cfg.threads,
+            max_iterations: 12,
+            ..Default::default()
+        };
+        cfg.progress(format!(
+            "dist_resilience: {name} — {} pairs, {} scenarios, β={BETA}, MLU={mlu}",
+            inst.num_pairs(),
+            set.scenarios.len()
+        ));
+        let reference = solve_flexile(&inst, &set, &opts);
+        println!("ref,{name},{},{:.17e}", reference.iterations.len(), reference.penalty);
+        for cell in matrix() {
+            let before = flexile_obs::snapshot();
+            let design = solve_flexile_dist(&inst, &set, &opts, &dist_opts(&cell))
+                .unwrap_or_else(|e| {
+                    panic!("{name} workers={} fault={}: {e}", cell.workers, cell.fault)
+                });
+            let after = flexile_obs::snapshot();
+            let deaths = delta(&before, &after, "flexile.dist_worker_dead");
+            let restarts = delta(&before, &after, "flexile.dist_worker_restart");
+            let stalls = delta(&before, &after, "flexile.dist_heartbeat_stall");
+            let reassigned = delta(&before, &after, "flexile.dist_reassigned");
+            let fallback = delta(&before, &after, "flexile.dist_fallback");
+            let (workers, fault) = (cell.workers, cell.fault);
+            println!(
+                "cell,{name},{workers},{fault},{},{deaths},{restarts},{stalls},{reassigned},{fallback},{:.17e}",
+                design.iterations.len(),
+                design.penalty
+            );
+            // The headline invariant: the fleet, and every fault in it,
+            // is invisible in the bits.
+            assert_eq!(
+                design.penalty.to_bits(),
+                reference.penalty.to_bits(),
+                "{name} workers={workers} fault={fault}: penalty diverged from in-process \
+                 reference ({:.17e} vs {:.17e})",
+                design.penalty,
+                reference.penalty
+            );
+            assert_eq!(
+                design.iterations.len(),
+                reference.iterations.len(),
+                "{name} workers={workers} fault={fault}: iteration count diverged"
+            );
+            // And the faults must have actually happened.
+            let (e_deaths, e_restarts, e_stalls, e_fallback) = expected(&cell);
+            assert_eq!(deaths, e_deaths, "{name} workers={workers} fault={fault}: deaths");
+            assert_eq!(restarts, e_restarts, "{name} workers={workers} fault={fault}: restarts");
+            assert_eq!(stalls, e_stalls, "{name} workers={workers} fault={fault}: stalls");
+            assert_eq!(fallback, e_fallback, "{name} workers={workers} fault={fault}: fallback");
+            assert!(
+                e_deaths == 0 || reassigned >= 1,
+                "{name} workers={workers} fault={fault}: a death reassigned no scenarios"
+            );
+            RECORDS.lock().unwrap_or_else(|e| e.into_inner()).push(format!(
+                "{{\"topology\":\"{name}\",\"workers\":{workers},\"fault\":\"{fault}\",\
+                 \"iterations\":{},\"deaths\":{deaths},\"restarts\":{restarts},\
+                 \"stalls\":{stalls},\"reassigned\":{reassigned},\"fallback\":{fallback},\
+                 \"penalty\":{:.17e}}}",
+                design.iterations.len(),
+                design.penalty
+            ));
+        }
+    }
+    if !had_obs {
+        // Leave the sink the way we found it for a bare CLI run; under
+        // `--obs` the harness drains it after us.
+        // (Counters accumulated here still land in the perf record when
+        // the harness enabled the sink first.)
+        flexile_obs::disable();
+        flexile_obs::drain();
+    }
+}

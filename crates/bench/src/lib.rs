@@ -13,6 +13,7 @@
 pub mod batch_kernel;
 pub mod bench_check;
 pub mod checkpoint;
+pub mod dist;
 pub mod figs_ibm;
 pub mod figs_motivation;
 pub mod figs_perf;

@@ -22,7 +22,7 @@
 //! The decomposition itself uses no RNG, so there is no random state to
 //! persist; determinism is documented and tested in `tests/pool.rs`.
 //!
-//! ## Wire format (version 1, all little-endian)
+//! ## Wire format (version 2, all little-endian)
 //!
 //! ```text
 //! magic   8 B   "FLXCKPT\0"
@@ -48,8 +48,10 @@ use flexile_traffic::Instance;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Current wire-format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current wire-format version. Version 2 added component-resolved
+/// fingerprints (`problem_parts` / `options_parts`) so a mismatch names
+/// exactly which component diverged instead of reporting a bare mismatch.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"FLXCKPT\0";
 
@@ -85,11 +87,30 @@ pub enum CheckpointError {
     /// bytes). The message says which field.
     Malformed(&'static str),
     /// The checkpoint belongs to a different instance/scenario set than the
-    /// one being resumed.
-    ProblemMismatch,
+    /// one being resumed. `component` names which part of the problem
+    /// fingerprint diverged (see [`PROBLEM_COMPONENTS`], plus `"betas"` for
+    /// the effective-β check) so the failure is diagnosable from one line.
+    ProblemMismatch {
+        /// Which problem-fingerprint component differs.
+        component: &'static str,
+    },
     /// The checkpoint was written under decomposition options that change
-    /// the trajectory (master knobs, pruning, residency, policy, γ).
-    OptionsMismatch,
+    /// the trajectory (iteration/pruning/γ knobs or the master
+    /// configuration). `component` names which options-fingerprint
+    /// component diverged (see [`OPTIONS_COMPONENTS`]).
+    OptionsMismatch {
+        /// Which options-fingerprint component differs.
+        component: &'static str,
+    },
+    /// The checkpoint's pool configuration (scheduling policy/residency or
+    /// batch width) differs from the resuming run's. Split from
+    /// [`CheckpointError::OptionsMismatch`] because distributed handshakes
+    /// negotiate exactly these knobs and need the typed rejection.
+    PoolConfigMismatch {
+        /// Which pool-config component differs (`"pool_policy"` or
+        /// `"batch_width"`).
+        component: &'static str,
+    },
     /// Resume was requested but the options carry no checkpoint directory.
     NoCheckpointConfigured,
 }
@@ -111,13 +132,20 @@ impl fmt::Display for CheckpointError {
                 write!(f, "checkpoint payload checksum mismatch (file corrupted)")
             }
             CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
-            CheckpointError::ProblemMismatch => write!(
+            CheckpointError::ProblemMismatch { component } => write!(
                 f,
-                "checkpoint was written for a different instance/scenario set"
+                "checkpoint was written for a different instance/scenario set \
+                 (mismatched component: {component})"
             ),
-            CheckpointError::OptionsMismatch => write!(
+            CheckpointError::OptionsMismatch { component } => write!(
                 f,
-                "checkpoint was written under different decomposition options"
+                "checkpoint was written under different decomposition options \
+                 (mismatched component: {component})"
+            ),
+            CheckpointError::PoolConfigMismatch { component } => write!(
+                f,
+                "checkpoint was written under a different pool configuration \
+                 (mismatched component: {component})"
             ),
             CheckpointError::NoCheckpointConfigured => {
                 write!(f, "resume requested but FlexileOptions.checkpoint_dir is unset")
@@ -146,12 +174,13 @@ pub struct BestIncumbent {
 /// iteration boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointState {
-    /// Fingerprint of the instance + scenario set (see
-    /// [`problem_fingerprint`]); resume refuses a mismatch.
-    pub problem_fp: u64,
-    /// Fingerprint of the trajectory-relevant options (see
-    /// [`options_fingerprint`]).
-    pub options_fp: u64,
+    /// Component-resolved fingerprint of the instance + scenario set (see
+    /// [`problem_fingerprint_parts`]); resume refuses a mismatch, naming
+    /// the first diverging component.
+    pub problem_parts: [u64; PROBLEM_COMPONENTS.len()],
+    /// Component-resolved fingerprint of the trajectory-relevant options
+    /// (see [`options_fingerprint_parts`]).
+    pub options_parts: [u64; OPTIONS_COMPONENTS.len()],
     /// Number of flows.
     pub nf: usize,
     /// Number of scenarios.
@@ -194,120 +223,226 @@ pub struct CheckpointState {
 // Fingerprints
 // ---------------------------------------------------------------------------
 
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
-    fn bytes(&mut self, bs: &[u8]) {
+    pub(crate) fn bytes(&mut self, bs: &[u8]) {
         for &b in bs {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x100_0000_01b3);
         }
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.bytes(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 }
 
-fn fnv64(bs: &[u8]) -> u64 {
+pub(crate) fn fnv64(bs: &[u8]) -> u64 {
     let mut h = Fnv::new();
     h.bytes(bs);
     h.0
 }
 
-/// Bit-exact fingerprint of the problem a checkpoint belongs to: flows,
-/// classes (β, weight), demands, arc capacities, and every scenario's
-/// probability, capacity factors, demand factor, and failed units.
-pub fn problem_fingerprint(inst: &Instance, set: &ScenarioSet) -> u64 {
-    let mut h = Fnv::new();
-    h.u64(inst.num_flows() as u64);
-    h.u64(inst.num_arcs() as u64);
-    h.u64(inst.num_classes() as u64);
+/// Names of the problem-fingerprint components, aligned with the entries
+/// of [`problem_fingerprint_parts`]. A mismatch is reported with the first
+/// diverging component's name.
+pub const PROBLEM_COMPONENTS: [&str; 5] =
+    ["shape", "classes", "demands", "capacities", "scenarios"];
+
+/// Names of the options-fingerprint components, aligned with the entries
+/// of [`options_fingerprint_parts`]. The last two (`pool_policy`,
+/// `batch_width`) are pool configuration and surface as
+/// [`CheckpointError::PoolConfigMismatch`] rather than the generic
+/// options mismatch.
+pub const OPTIONS_COMPONENTS: [&str; 4] = ["search", "master", "pool_policy", "batch_width"];
+
+/// Bit-exact component fingerprints of the problem a checkpoint belongs
+/// to, in [`PROBLEM_COMPONENTS`] order: structural shape (flow/arc/class
+/// counts), classes (β, weight), demands, arc capacities, and every
+/// scenario's probability, capacity factors, demand factor, and failed
+/// units.
+pub fn problem_fingerprint_parts(
+    inst: &Instance,
+    set: &ScenarioSet,
+) -> [u64; PROBLEM_COMPONENTS.len()] {
+    let mut shape = Fnv::new();
+    shape.u64(inst.num_flows() as u64);
+    shape.u64(inst.num_arcs() as u64);
+    shape.u64(inst.num_classes() as u64);
+
+    let mut classes = Fnv::new();
     for c in &inst.classes {
-        h.f64(c.beta);
-        h.f64(c.weight);
+        classes.f64(c.beta);
+        classes.f64(c.weight);
     }
+
+    let mut demands = Fnv::new();
     for row in &inst.demands {
-        h.u64(row.len() as u64);
+        demands.u64(row.len() as u64);
         for &d in row {
-            h.f64(d);
+            demands.f64(d);
         }
     }
+
+    let mut capacities = Fnv::new();
     for a in 0..inst.num_arcs() {
-        h.f64(inst.arc_capacity(a));
-        h.u64(inst.arc_link(a) as u64);
+        capacities.f64(inst.arc_capacity(a));
+        capacities.u64(inst.arc_link(a) as u64);
     }
-    h.u64(set.scenarios.len() as u64);
-    h.f64(set.residual);
+
+    let mut scenarios = Fnv::new();
+    scenarios.u64(set.scenarios.len() as u64);
+    scenarios.f64(set.residual);
     for s in &set.scenarios {
-        h.f64(s.prob);
-        h.f64(s.demand_factor);
+        scenarios.f64(s.prob);
+        scenarios.f64(s.demand_factor);
         for &u in &s.failed_units {
-            h.u64(u as u64 + 1);
+            scenarios.u64(u as u64 + 1);
         }
-        h.u64(0); // terminator between scenarios
+        scenarios.u64(0); // terminator between scenarios
         for &cf in &s.cap_factor {
-            h.f64(cf);
+            scenarios.f64(cf);
         }
     }
-    h.0
+    [shape.0, classes.0, demands.0, capacities.0, scenarios.0]
 }
 
-/// Fingerprint of the options that change the decomposition *trajectory*
-/// (anything that would make continuation diverge from the original run).
-/// Thread count is deliberately excluded — output is thread-invariant —
-/// as are the checkpointing knobs themselves and the watchdog (wall-clock
-/// based, documented as best-effort).
-pub fn options_fingerprint(opts: &FlexileOptions) -> u64 {
-    let mut h = Fnv::new();
-    h.u64(opts.max_iterations as u64);
-    h.u64(opts.master.hamming_limit as u64);
-    h.u64(opts.master.exact_threshold as u64);
-    h.u64(opts.prune as u64);
-    h.u64(match opts.pool {
+/// Combined problem fingerprint (FNV over the component parts). Kept for
+/// call sites that only need a single opaque identity.
+pub fn problem_fingerprint(inst: &Instance, set: &ScenarioSet) -> u64 {
+    combine_parts(&problem_fingerprint_parts(inst, set))
+}
+
+/// Component fingerprints of the options that change the decomposition
+/// *trajectory* (anything that would make continuation diverge from the
+/// original run), in [`OPTIONS_COMPONENTS`] order: search knobs
+/// (iteration cap, pruning, γ), master configuration, pool policy +
+/// residency, and batch width. Thread count is deliberately excluded —
+/// output is thread-invariant — as are the checkpointing knobs themselves
+/// and the watchdog (wall-clock based, documented as best-effort).
+pub fn options_fingerprint_parts(opts: &FlexileOptions) -> [u64; OPTIONS_COMPONENTS.len()] {
+    let mut search = Fnv::new();
+    search.u64(opts.max_iterations as u64);
+    search.u64(opts.prune as u64);
+    match opts.gamma {
+        Some(g) => {
+            search.u64(1);
+            search.f64(g);
+        }
+        None => search.u64(0),
+    }
+
+    let mut master = Fnv::new();
+    master.u64(opts.master.hamming_limit as u64);
+    master.u64(opts.master.exact_threshold as u64);
+
+    let mut pool_policy = Fnv::new();
+    pool_policy.u64(match opts.pool {
         PoolPolicy::PerScenario => 0,
         PoolPolicy::LegacyStriped => 1,
         PoolPolicy::Cold => 2,
     });
-    h.u64(opts.basis_residency as u64);
-    h.u64(opts.batch_width as u64);
-    match opts.gamma {
-        Some(g) => {
-            h.u64(1);
-            h.f64(g);
-        }
-        None => h.u64(0),
+    pool_policy.u64(opts.basis_residency as u64);
+
+    let mut batch_width = Fnv::new();
+    batch_width.u64(opts.batch_width as u64);
+
+    [search.0, master.0, pool_policy.0, batch_width.0]
+}
+
+/// Combined options fingerprint (FNV over the component parts).
+pub fn options_fingerprint(opts: &FlexileOptions) -> u64 {
+    combine_parts(&options_fingerprint_parts(opts))
+}
+
+fn combine_parts(parts: &[u64]) -> u64 {
+    let mut h = Fnv::new();
+    for &p in parts {
+        h.u64(p);
     }
     h.0
+}
+
+/// Compare declared fingerprint parts against locally recomputed ones,
+/// returning a typed error naming the first diverging component. Shared
+/// by [`crate::decompose_resume`] and the distributed handshake, so a
+/// coordinator/worker disagreement is diagnosable from one log line.
+pub fn check_parts(
+    declared_problem: &[u64; PROBLEM_COMPONENTS.len()],
+    actual_problem: &[u64; PROBLEM_COMPONENTS.len()],
+    declared_options: &[u64; OPTIONS_COMPONENTS.len()],
+    actual_options: &[u64; OPTIONS_COMPONENTS.len()],
+) -> Result<(), CheckpointError> {
+    for (i, name) in PROBLEM_COMPONENTS.iter().enumerate() {
+        if declared_problem[i] != actual_problem[i] {
+            return Err(CheckpointError::ProblemMismatch { component: name });
+        }
+    }
+    for (i, name) in OPTIONS_COMPONENTS.iter().enumerate() {
+        if declared_options[i] != actual_options[i] {
+            return Err(if *name == "pool_policy" || *name == "batch_width" {
+                CheckpointError::PoolConfigMismatch { component: name }
+            } else {
+                CheckpointError::OptionsMismatch { component: name }
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validate that a checkpoint belongs to this problem + options, naming
+/// the diverging component on mismatch. Shape (`nf`/`nq`/`na`) counts as
+/// the `"shape"` problem component.
+pub fn validate_fingerprints(
+    ck: &CheckpointState,
+    inst: &Instance,
+    set: &ScenarioSet,
+    opts: &FlexileOptions,
+) -> Result<(), CheckpointError> {
+    if ck.nf != inst.num_flows() || ck.nq != set.scenarios.len() || ck.na != inst.num_arcs() {
+        return Err(CheckpointError::ProblemMismatch { component: "shape" });
+    }
+    check_parts(
+        &ck.problem_parts,
+        &problem_fingerprint_parts(inst, set),
+        &ck.options_parts,
+        &options_fingerprint_parts(opts),
+    )
 }
 
 // ---------------------------------------------------------------------------
 // Encoder
 // ---------------------------------------------------------------------------
 
-struct Enc {
-    buf: Vec<u8>,
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Enc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Enc { buf: Vec::with_capacity(4096) }
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.buf.push(v as u8);
     }
-    fn bits(&mut self, bs: &[bool]) {
+    /// A length-prefixed UTF-8 string.
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    pub(crate) fn bits(&mut self, bs: &[bool]) {
         self.u64(bs.len() as u64);
         let mut byte = 0u8;
         for (i, &b) in bs.iter().enumerate() {
@@ -323,13 +458,13 @@ impl Enc {
             self.buf.push(byte);
         }
     }
-    fn f64s(&mut self, vs: &[f64]) {
+    pub(crate) fn f64s(&mut self, vs: &[f64]) {
         self.u64(vs.len() as u64);
         for &v in vs {
             self.f64(v);
         }
     }
-    fn opt<T>(&mut self, v: &Option<T>, f: impl FnOnce(&mut Self, &T)) {
+    pub(crate) fn opt<T>(&mut self, v: &Option<T>, f: impl FnOnce(&mut Self, &T)) {
         match v {
             Some(inner) => {
                 self.buf.push(1);
@@ -338,7 +473,7 @@ impl Enc {
             None => self.buf.push(0),
         }
     }
-    fn cut(&mut self, c: &Cut) {
+    pub(crate) fn cut(&mut self, c: &Cut) {
         self.f64s(&c.w);
         self.f64s(&c.u);
         self.f64(c.d_const);
@@ -349,13 +484,13 @@ impl Enc {
 // Decoder
 // ---------------------------------------------------------------------------
 
-struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Dec<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn need(&self, n: usize) -> Result<(), CheckpointError> {
+    pub(crate) fn need(&self, n: usize) -> Result<(), CheckpointError> {
         if self.buf.len() - self.pos < n {
             Err(CheckpointError::Truncated {
                 needed: self.pos + n,
@@ -365,17 +500,28 @@ impl<'a> Dec<'a> {
             Ok(())
         }
     }
-    fn u64(&mut self) -> Result<u64, CheckpointError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
         self.need(8)?;
         let mut b = [0u8; 8];
         b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
         self.pos += 8;
         Ok(u64::from_le_bytes(b))
     }
-    fn f64(&mut self) -> Result<f64, CheckpointError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, CheckpointError> {
         Ok(f64::from_bits(self.u64()?))
     }
-    fn bool(&mut self) -> Result<bool, CheckpointError> {
+    /// A length-prefixed UTF-8 string (hostile lengths and invalid UTF-8
+    /// are typed errors, like every other field).
+    pub(crate) fn str(&mut self) -> Result<String, CheckpointError> {
+        let n = self.len(1)?;
+        self.need(n)?;
+        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + n])
+            .map_err(|_| CheckpointError::Malformed("invalid UTF-8 string"))?
+            .to_string();
+        self.pos += n;
+        Ok(s)
+    }
+    pub(crate) fn bool(&mut self) -> Result<bool, CheckpointError> {
         self.need(1)?;
         let b = self.buf[self.pos];
         self.pos += 1;
@@ -387,7 +533,7 @@ impl<'a> Dec<'a> {
     }
     /// A length field, validated so that `len * elem_bytes` fits in the
     /// remaining payload (prevents attacker-controlled allocations).
-    fn len(&mut self, elem_bytes: usize) -> Result<usize, CheckpointError> {
+    pub(crate) fn len(&mut self, elem_bytes: usize) -> Result<usize, CheckpointError> {
         let n = self.u64()?;
         let remaining = (self.buf.len() - self.pos) as u64;
         if n.checked_mul(elem_bytes.max(1) as u64).is_none_or(|need| need > remaining) {
@@ -395,7 +541,7 @@ impl<'a> Dec<'a> {
         }
         Ok(n as usize)
     }
-    fn bits(&mut self) -> Result<Vec<bool>, CheckpointError> {
+    pub(crate) fn bits(&mut self) -> Result<Vec<bool>, CheckpointError> {
         let n = self.u64()? as usize;
         let bytes = n.div_ceil(8);
         self.need(bytes)?;
@@ -410,7 +556,7 @@ impl<'a> Dec<'a> {
         self.pos += bytes;
         Ok(out)
     }
-    fn f64s(&mut self) -> Result<Vec<f64>, CheckpointError> {
+    pub(crate) fn f64s(&mut self) -> Result<Vec<f64>, CheckpointError> {
         let n = self.len(8)?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -418,7 +564,7 @@ impl<'a> Dec<'a> {
         }
         Ok(out)
     }
-    fn opt<T>(
+    pub(crate) fn opt<T>(
         &mut self,
         f: impl FnOnce(&mut Self) -> Result<T, CheckpointError>,
     ) -> Result<Option<T>, CheckpointError> {
@@ -428,7 +574,7 @@ impl<'a> Dec<'a> {
             Ok(None)
         }
     }
-    fn cut(&mut self) -> Result<Cut, CheckpointError> {
+    pub(crate) fn cut(&mut self) -> Result<Cut, CheckpointError> {
         Ok(Cut { w: self.f64s()?, u: self.f64s()?, d_const: self.f64()? })
     }
 }
@@ -440,8 +586,12 @@ impl<'a> Dec<'a> {
 /// Serialize a state to the full file image (header + payload).
 pub fn encode(state: &CheckpointState) -> Vec<u8> {
     let mut e = Enc::new();
-    e.u64(state.problem_fp);
-    e.u64(state.options_fp);
+    for &p in &state.problem_parts {
+        e.u64(p);
+    }
+    for &p in &state.options_parts {
+        e.u64(p);
+    }
     e.u64(state.nf as u64);
     e.u64(state.nq as u64);
     e.u64(state.na as u64);
@@ -540,8 +690,14 @@ pub fn decode(data: &[u8]) -> Result<CheckpointState, CheckpointError> {
     }
 
     let mut d = Dec { buf: payload, pos: 0 };
-    let problem_fp = d.u64()?;
-    let options_fp = d.u64()?;
+    let mut problem_parts = [0u64; PROBLEM_COMPONENTS.len()];
+    for p in &mut problem_parts {
+        *p = d.u64()?;
+    }
+    let mut options_parts = [0u64; OPTIONS_COMPONENTS.len()];
+    for p in &mut options_parts {
+        *p = d.u64()?;
+    }
     let nf = d.len(0)?;
     let nq = d.len(0)?;
     let na = d.len(0)?;
@@ -651,8 +807,8 @@ pub fn decode(data: &[u8]) -> Result<CheckpointState, CheckpointError> {
         return Err(CheckpointError::Malformed("unconsumed payload bytes"));
     }
     Ok(CheckpointState {
-        problem_fp,
-        options_fp,
+        problem_parts,
+        options_parts,
         nf,
         nq,
         na,

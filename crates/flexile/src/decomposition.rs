@@ -198,13 +198,13 @@ pub fn evaluate_criticality(
 
 /// Precomputed, deterministic derivations from the problem definition
 /// (identical for a fresh run and a resume).
-struct Prepared {
-    betas: Vec<f64>,
-    allowed: Vec<Vec<bool>>,
-    loss_ub: Option<Vec<Vec<f64>>>,
+pub(crate) struct Prepared {
+    pub(crate) betas: Vec<f64>,
+    pub(crate) allowed: Vec<Vec<bool>>,
+    pub(crate) loss_ub: Option<Vec<Vec<f64>>>,
 }
 
-fn prepare(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) -> Prepared {
+pub(crate) fn prepare(inst: &Instance, set: &ScenarioSet, opts: &FlexileOptions) -> Prepared {
     let nf = inst.num_flows();
     let betas = crate::effective_betas(inst, set);
 
@@ -282,21 +282,12 @@ pub fn decompose_resume(
         .as_ref()
         .ok_or(CheckpointError::NoCheckpointConfigured)?;
     let ck = checkpoint::read_checkpoint(&checkpoint::checkpoint_path(dir))?;
-    if ck.problem_fp != checkpoint::problem_fingerprint(inst, set)
-        || ck.nf != inst.num_flows()
-        || ck.nq != set.scenarios.len()
-        || ck.na != inst.num_arcs()
-    {
-        return Err(CheckpointError::ProblemMismatch);
-    }
-    if ck.options_fp != checkpoint::options_fingerprint(opts) {
-        return Err(CheckpointError::OptionsMismatch);
-    }
+    checkpoint::validate_fingerprints(&ck, inst, set, opts)?;
     let betas = crate::effective_betas(inst, set);
     if betas.len() != ck.betas.len()
         || betas.iter().zip(&ck.betas).any(|(a, b)| a.to_bits() != b.to_bits())
     {
-        return Err(CheckpointError::ProblemMismatch);
+        return Err(CheckpointError::ProblemMismatch { component: "betas" });
     }
 
     let mut span = flexile_obs::span("flexile.resume", "flexile")
@@ -355,7 +346,7 @@ type Incumbent = (f64, Vec<Vec<bool>>, Vec<Vec<f64>>, Vec<f64>);
 
 /// The complete mutable state of the Algorithm-1 loop, separated out so an
 /// iteration boundary can be checkpointed and restored.
-struct BendersState {
+pub(crate) struct BendersState {
     /// Last completed iteration (0 = none yet).
     it: usize,
     /// Criticality proposal for the next iteration.
@@ -371,11 +362,11 @@ struct BendersState {
     /// subproblems by one iteration, so iteration 1 has no bound yet.
     last_bound: Option<f64>,
     /// Converged or exhausted the iteration budget.
-    done: bool,
+    pub(crate) done: bool,
 }
 
 impl BendersState {
-    fn fresh(allowed: &[Vec<bool>], nq: usize) -> Self {
+    pub(crate) fn fresh(allowed: &[Vec<bool>], nq: usize) -> Self {
         BendersState {
             it: 0,
             // Starting heuristic: everything connected is critical.
@@ -392,7 +383,7 @@ impl BendersState {
         }
     }
 
-    fn from_checkpoint(ck: &CheckpointState) -> Result<Self, CheckpointError> {
+    pub(crate) fn from_checkpoint(ck: &CheckpointState) -> Result<Self, CheckpointError> {
         // Checkpoints are only written at iteration boundaries, where an
         // incumbent always exists; a valid-checksum file claiming otherwise
         // was hand-crafted.
@@ -422,8 +413,8 @@ impl BendersState {
         betas: &[f64],
     ) -> CheckpointState {
         CheckpointState {
-            problem_fp: plan.problem_fp,
-            options_fp: plan.options_fp,
+            problem_parts: plan.problem_parts,
+            options_parts: plan.options_parts,
             nf: plan.nf,
             nq: plan.nq,
             na: plan.na,
@@ -454,8 +445,8 @@ impl BendersState {
 struct CheckpointPlan {
     path: Option<PathBuf>,
     every: usize,
-    problem_fp: u64,
-    options_fp: u64,
+    problem_parts: [u64; checkpoint::PROBLEM_COMPONENTS.len()],
+    options_parts: [u64; checkpoint::OPTIONS_COMPONENTS.len()],
     nf: usize,
     nq: usize,
     na: usize,
@@ -469,8 +460,8 @@ impl CheckpointPlan {
                 .as_ref()
                 .map(|d| checkpoint::checkpoint_path(d)),
             every: opts.checkpoint_every.max(1),
-            problem_fp: checkpoint::problem_fingerprint(inst, set),
-            options_fp: checkpoint::options_fingerprint(opts),
+            problem_parts: checkpoint::problem_fingerprint_parts(inst, set),
+            options_parts: checkpoint::options_fingerprint_parts(opts),
             nf: inst.num_flows(),
             nq: set.scenarios.len(),
             na: inst.num_arcs(),
@@ -492,7 +483,7 @@ impl CheckpointPlan {
     }
 }
 
-fn design_from_state(state: BendersState, betas: &[f64]) -> FlexileDesign {
+pub(crate) fn design_from_state(state: BendersState, betas: &[f64]) -> FlexileDesign {
     let (penalty, critical, offline_loss, alpha) =
         state.best.expect("at least one iteration ran");
     FlexileDesign {
@@ -507,7 +498,7 @@ fn design_from_state(state: BendersState, betas: &[f64]) -> FlexileDesign {
 
 /// The Algorithm-1 iteration loop, generic over how an iteration's
 /// subproblems are actually scheduled and solved.
-fn run_decomposition(
+pub(crate) fn run_decomposition(
     inst: &Instance,
     set: &ScenarioSet,
     opts: &FlexileOptions,
@@ -672,6 +663,9 @@ fn run_decomposition(
             dual_restarts,
         });
         state.it = it;
+        // Boundary hook: distributed schedulers broadcast this iteration's
+        // cut-pool delta and the incumbent to their workers here.
+        solver.iteration_complete(it, upper, &state.z);
 
         if it == opts.max_iterations {
             state.done = true;

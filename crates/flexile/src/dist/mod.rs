@@ -1,0 +1,73 @@
+//! Elastic multi-process Benders: a fault-tolerant coordinator/worker
+//! substrate for the offline decomposition.
+//!
+//! The decomposition's subproblem fan-out ([`crate::pool`]) is an
+//! [`crate::pool::IterationSolver`] behind a trait, which makes the
+//! process boundary a scheduling detail: this module provides a
+//! coordinator ([`solve_flexile_dist`]) that shards scenarios across
+//! locally spawned worker processes ([`worker_entry`]) over localhost TCP,
+//! speaking length-prefixed, checksummed, version- and
+//! fingerprint-validated frames ([`frame`]) built from the checkpoint
+//! codec's primitives.
+//!
+//! The substrate is designed around one invariant — **the final design is
+//! bit-identical to the in-process pool at any worker count**, and stays
+//! so while workers die, hang, or corrupt frames mid-iteration:
+//!
+//! * scenario solve sequences are independent, so a scenario's bits depend
+//!   only on its own solve-column chain, which the coordinator mirrors and
+//!   ships with every assignment;
+//! * results are applied at most once (epoch + connection-id gated);
+//! * faults move scenarios, never results: reassignment re-derives the
+//!   same chain on another process;
+//! * with no workers left, the coordinator re-warms from its mirror and
+//!   finishes in-process.
+//!
+//! See DESIGN.md §5.6 for the full failure-semantics state machine and
+//! `tests/dist.rs` for the chaos suite that pins the bit-identity claims.
+
+pub mod frame;
+mod retry;
+
+mod coordinator;
+mod worker;
+
+pub use coordinator::{decompose_resume_dist, solve_flexile_dist, DistOptions, WorkerSpec};
+pub use worker::{verify_hello, worker_entry, CHAOS_ENV, CONNECT_ENV, SLOT_ENV};
+
+use crate::checkpoint::CheckpointError;
+use std::fmt;
+
+/// Why a distributed run (or a worker process) could not proceed.
+#[derive(Debug)]
+pub enum DistError {
+    /// Transport-level I/O failure (connect, bind, read, write).
+    Io(String),
+    /// Worker environment missing or malformed (`FLEXILE_DIST_*`).
+    Env(String),
+    /// The peer sent a frame that decodes but violates the protocol, or a
+    /// frame that fails validation.
+    Protocol(String),
+    /// Checkpoint-layer failure surfaced through the distributed resume
+    /// path (fingerprint mismatch, corrupt checkpoint, ...).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(m) => write!(f, "distributed I/O error: {m}"),
+            DistError::Env(m) => write!(f, "worker environment error: {m}"),
+            DistError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DistError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<CheckpointError> for DistError {
+    fn from(e: CheckpointError) -> Self {
+        DistError::Checkpoint(e)
+    }
+}

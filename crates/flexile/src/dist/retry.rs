@@ -1,0 +1,138 @@
+//! Typed retry/backoff ladder for transient distributed I/O.
+//!
+//! Only *transient* I/O errors are retried (interrupted syscalls,
+//! would-block, timeouts, connection-refused while a worker is still
+//! binding); anything else — connection reset, broken pipe, EOF — means
+//! the peer is gone and is surfaced immediately so the death machinery
+//! can take over. Retries are bounded and backoff is exponential with
+//! **deterministic seeded jitter** (FNV over `(seed, attempt)`), so two
+//! runs of the same chaos schedule wait the same way.
+
+use std::io;
+use std::time::Duration;
+
+/// Bounded retry policy with deterministic jitter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub attempts: u32,
+    /// Base backoff; attempt `k` sleeps `base·2^k` plus jitter in
+    /// `[0, base)`.
+    pub base: Duration,
+    /// Jitter seed (derived from the worker slot, so workers do not
+    /// stampede in lockstep yet stay reproducible).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    pub(crate) fn new(seed: u64) -> Self {
+        RetryPolicy { attempts: 4, base: Duration::from_millis(10), seed }
+    }
+
+    /// Deterministic backoff before retry attempt `attempt` (1-based).
+    pub(crate) fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(10));
+        let base_ns = self.base.as_nanos() as u64;
+        let jitter_ns = if base_ns == 0 {
+            0
+        } else {
+            let mut h = crate::checkpoint::Fnv::new();
+            h.u64(self.seed);
+            h.u64(attempt as u64);
+            h.0 % base_ns
+        };
+        exp + Duration::from_nanos(jitter_ns)
+    }
+
+    /// Run `op`, retrying transient failures up to the attempt budget with
+    /// backoff. Every retry is counted as `flexile.dist_retry`.
+    pub(crate) fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt + 1 < self.attempts && transient(&e) => {
+                    attempt += 1;
+                    flexile_obs::add("flexile.dist_retry", 1);
+                    std::thread::sleep(self.backoff(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Whether an I/O error is worth retrying on the same connection attempt.
+pub(crate) fn transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::ConnectionRefused
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(transient(&io::Error::from(io::ErrorKind::Interrupted)));
+        assert!(transient(&io::Error::from(io::ErrorKind::TimedOut)));
+        assert!(transient(&io::Error::from(io::ErrorKind::ConnectionRefused)));
+        assert!(!transient(&io::Error::from(io::ErrorKind::ConnectionReset)));
+        assert!(!transient(&io::Error::from(io::ErrorKind::BrokenPipe)));
+        assert!(!transient(&io::Error::from(io::ErrorKind::UnexpectedEof)));
+    }
+
+    #[test]
+    fn bounded_attempts_and_terminal_passthrough() {
+        let policy = RetryPolicy { attempts: 3, base: Duration::from_nanos(1), seed: 7 };
+        let mut calls = 0;
+        let r: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(io::Error::from(io::ErrorKind::TimedOut))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 3, "transient errors retried to the attempt budget");
+
+        let mut calls = 0;
+        let r: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(io::Error::from(io::ErrorKind::BrokenPipe))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1, "terminal errors are not retried");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let a = RetryPolicy { attempts: 4, base: Duration::from_millis(10), seed: 3 };
+        let b = RetryPolicy { attempts: 4, base: Duration::from_millis(10), seed: 3 };
+        for k in 1..4 {
+            assert_eq!(a.backoff(k), b.backoff(k), "same seed, same backoff");
+            let exp = Duration::from_millis(10 * (1 << k));
+            assert!(a.backoff(k) >= exp && a.backoff(k) < exp + Duration::from_millis(10));
+        }
+        let c = RetryPolicy { attempts: 4, base: Duration::from_millis(10), seed: 4 };
+        assert!((1..4).any(|k| c.backoff(k) != a.backoff(k)), "different seeds jitter apart");
+    }
+
+    #[test]
+    fn eventual_success_returns_value() {
+        let policy = RetryPolicy { attempts: 4, base: Duration::from_nanos(1), seed: 0 };
+        let mut calls = 0;
+        let r = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::from(io::ErrorKind::ConnectionRefused))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(calls, 3);
+    }
+}

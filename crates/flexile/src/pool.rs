@@ -115,6 +115,18 @@ pub enum PoolError {
         /// Panic payload, stringified.
         message: String,
     },
+    /// A distributed worker process reported a solver failure over the
+    /// wire; the original [`LpError`] is carried as text (wire frames do
+    /// not round-trip the full error taxonomy). The decomposition treats
+    /// it like any other failed solve.
+    Remote {
+        /// Scenario whose remote solve failed.
+        scenario: usize,
+        /// Worker-process slot that reported the failure.
+        worker: usize,
+        /// The remote error, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for PoolError {
@@ -128,6 +140,9 @@ impl fmt::Display for PoolError {
             ),
             PoolError::WorkerPanicked { scenario, worker, message } => {
                 write!(f, "worker {worker} panicked; scenario {scenario} lost: {message}")
+            }
+            PoolError::Remote { scenario, worker, message } => {
+                write!(f, "remote worker {worker} failed scenario {scenario}: {message}")
             }
         }
     }
@@ -149,11 +164,11 @@ pub(crate) type ScenResult = (usize, Result<(SubproblemSolution, SolveStats), Po
 /// (templates are quarantined by the containment path; control queues only
 /// append), so propagating the poison would turn one contained fault into a
 /// process-wide cascade.
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -223,15 +238,25 @@ pub(crate) trait IterationSolver {
     /// scenario's solve chain to rebuild warm bases, and restore the LRU
     /// stamps. Default: nothing to restore.
     fn restore(&mut self, it: usize, snap: &PoolSnapshot);
+
+    /// Iteration-boundary hook: the decomposition finished iteration `it`
+    /// with incumbent penalty `penalty` and criticality proposal `z`. The
+    /// in-process schedulers have nothing to do; the distributed
+    /// coordinator broadcasts the cut-pool delta and incumbent to its
+    /// workers here.
+    fn iteration_complete(&mut self, _it: usize, _penalty: f64, _z: &[Vec<bool>]) {}
 }
 
 /// A scenario's pooled state: its long-lived template plus the solve-column
-/// history that makes the template's warm basis reconstructible.
+/// history that makes the template's warm basis reconstructible. Shared
+/// with the distributed worker ([`crate::dist`]), which holds one slot per
+/// scenario it hosts so its chain/quarantine semantics are bit-identical
+/// to the in-process pool's.
 #[derive(Default)]
-struct Slot {
-    tmpl: Option<SubproblemTemplate>,
+pub(crate) struct Slot {
+    pub(crate) tmpl: Option<SubproblemTemplate>,
     /// Columns successfully solved since `tmpl` was last built cold.
-    history: Vec<Vec<bool>>,
+    pub(crate) history: Vec<Vec<bool>>,
 }
 
 /// An epoch's work order, claimed off a shared cursor.
@@ -281,7 +306,7 @@ struct Shared {
 /// One contained solve of scenario `q`: panics inside the
 /// claim-template-and-solve region quarantine the template and retry from
 /// cold, bounded by [`MAX_PANIC_RETRIES`].
-fn solve_contained(
+pub(crate) fn solve_contained(
     slots: &[Mutex<Slot>],
     ctx: &PoolCtx<'_>,
     it: usize,

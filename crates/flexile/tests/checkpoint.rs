@@ -53,8 +53,8 @@ fn arb_state(seed: u64, nf: usize, nq: usize, na: usize, iters: usize) -> Checkp
     let f64s = |m: &mut Mix, n: usize| -> Vec<f64> { (0..n).map(|_| m.f64()).collect() };
     let cut = |m: &mut Mix| Cut { w: f64s(m, nf), u: f64s(m, na), d_const: m.f64() };
     CheckpointState {
-        problem_fp: m.u64(),
-        options_fp: m.u64(),
+        problem_parts: std::array::from_fn(|_| m.u64()),
+        options_parts: std::array::from_fn(|_| m.u64()),
         nf,
         nq,
         na,
@@ -188,11 +188,12 @@ fn hostile_length_fields_do_not_allocate() {
     let state = arb_state(14, 2, 3, 2, 1);
     let mut blob = encode(&state);
     // Payload starts at byte 28 (8 magic + 4 version + 8 len + 8 checksum);
-    // the first field is the u64 problem fingerprint, then options, then
-    // nf as a length-ish u64 — overwrite nf with a huge value and fix the
-    // checksum so only the shape validation can object.
+    // the first fields are the 5 problem + 4 options fingerprint parts
+    // (9 u64s), then nf as a length-ish u64 — overwrite nf with a huge
+    // value and fix the checksum so only the shape validation can object.
     let payload_start = 28;
-    blob[payload_start + 16..payload_start + 24].copy_from_slice(&(1u64 << 60).to_le_bytes());
+    let nf_off = payload_start + 8 * 9;
+    blob[nf_off..nf_off + 8].copy_from_slice(&(1u64 << 60).to_le_bytes());
     let payload = blob[payload_start..].to_vec();
     let sum = fnv64_ref(&payload);
     blob[20..28].copy_from_slice(&sum.to_le_bytes());

@@ -403,14 +403,14 @@ fn resume_refuses_mismatched_problem_or_options() {
     other_inst.classes[0].beta = 0.95;
     assert!(matches!(
         decompose_resume(&other_inst, &set, &opts),
-        Err(CheckpointError::ProblemMismatch)
+        Err(CheckpointError::ProblemMismatch { .. })
     ));
 
     // Different trajectory-relevant options.
     let other_opts = FlexileOptions { prune: false, ..opts.clone() };
     assert!(matches!(
         decompose_resume(&inst, &set, &other_opts),
-        Err(CheckpointError::OptionsMismatch)
+        Err(CheckpointError::OptionsMismatch { .. })
     ));
 
     // No directory configured at all.
